@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Each ``benchmarks/test_*.py`` module regenerates one paper table/figure:
+a full-sweep run (executed once, its paper-style table printed to the
+report) plus pytest-benchmark timings of representative cells.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+_tables: List[str] = []
+
+
+def record_table(text: str) -> None:
+    """Collect a rendered experiment table for the terminal summary."""
+    _tables.append(text)
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter):
+    if not _tables:
+        return
+    terminalreporter.section("paper tables/figures (regenerated)")
+    for text in _tables:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

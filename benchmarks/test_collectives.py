@@ -1,0 +1,17 @@
+"""E18: TCA-native collectives vs MPI over InfiniBand."""
+
+from benchmarks.conftest import record_table
+from repro.bench.experiments import collectives
+from repro.units import KiB
+
+
+def test_collectives(benchmark):
+    table = benchmark.pedantic(collectives, rounds=1, iterations=1)
+    record_table(table.render())
+    tca = table.series["tca"]
+    mpi = table.series["mpi-ib"]
+    # No MPI stack at the sub-cluster level (§V): the flag-synchronized
+    # PIO allgather wins for small blocks...
+    assert tca.y_at(1 * KiB) < 0.8 * mpi.y_at(1 * KiB)
+    # ...while a QDR rail out-streams the two-phase DMAC for bulk.
+    assert mpi.y_at(64 * KiB) < tca.y_at(64 * KiB)

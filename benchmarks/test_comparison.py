@@ -1,0 +1,53 @@
+"""E10: the motivation comparison — TCA vs MPI/IB paths, host and GPU."""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.bench.experiments import comparison_gpu, comparison_host
+from repro.baselines.paths import TCADMAPath, TCAPIOPath, VerbsPath
+from repro.units import KiB, MiB
+
+
+def test_comparison_host(benchmark):
+    table = benchmark.pedantic(comparison_host, rounds=1, iterations=1)
+    record_table(table.render())
+    # Short messages: TCA PIO wins outright (the paper's core claim).
+    assert (table.series["tca-pio"].y_at(8)
+            < table.series["ib-verbs"].y_at(8)
+            < table.series["mpi-ib"].y_at(8))
+    # Large messages: a QDR rail out-streams the two-phase DMAC.
+    assert (table.series["ib-verbs"].y_at(1 * MiB)
+            < table.series["tca-dma"].y_at(1 * MiB))
+
+
+def test_comparison_gpu(benchmark):
+    table = benchmark.pedantic(comparison_gpu, rounds=1, iterations=1)
+    record_table(table.render())
+    # Short GPU-GPU messages: TCA DMA beats both MPI paths (it can tie
+    # GDR at 8 B where both are dominated by their ~1 us fixed costs).
+    assert (table.series["tca-dma-gpu"].y_at(8)
+            <= table.series["gpu-mpi-gdr"].y_at(8)
+            < table.series["gpu-mpi-3copy"].y_at(8))
+    assert (table.series["tca-dma-gpu"].y_at(512)
+            <= table.series["gpu-mpi-gdr"].y_at(512))
+    assert (table.series["tca-dma-gpu"].y_at(4096)
+            < table.series["gpu-mpi-gdr"].y_at(4096))
+    # The three-copy path is ~4-5x worse for short messages (§I).
+    assert (table.series["gpu-mpi-3copy"].y_at(64)
+            > 3 * table.series["tca-dma-gpu"].y_at(64))
+    # Large messages: the pipelined host-staged path wins (GPU BAR reads
+    # cap both direct paths at ~830 MB/s).
+    assert (table.series["gpu-mpi-pipelined"].y_at(1 * MiB)
+            < table.series["tca-dma-gpu"].y_at(1 * MiB))
+
+
+@pytest.mark.parametrize("path_cls,size", [
+    (TCAPIOPath, 8),
+    (TCADMAPath, 4 * KiB),
+    (VerbsPath, 4 * KiB),
+])
+def test_comparison_cell(benchmark, path_cls, size):
+    def cell():
+        return path_cls().transfer(size).latency_us
+
+    benchmark.pedantic(cell, rounds=3, iterations=1)

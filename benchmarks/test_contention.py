@@ -1,0 +1,24 @@
+"""E19: ring contention under simultaneous k-hop shift traffic."""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.bench.experiments import contention
+from repro.units import KiB
+
+
+def test_contention(benchmark):
+    table = benchmark.pedantic(
+        lambda: contention(ring_sizes=(4, 8, 16), nbytes=64 * KiB),
+        rounds=1, iterations=1)
+    record_table(table.render())
+    ring16 = table.series["16-node ring"]
+    # Per-flow bandwidth falls roughly as 1/k (each flow's packets occupy
+    # k consecutive ring links, §II-B's scaling limit); at 64 KiB per
+    # flow the ~2 us fixed chain overhead softens the small-k ratios.
+    one_hop = ring16.y_at(1)
+    assert ring16.y_at(2) < 0.75 * one_hop
+    assert ring16.y_at(8) == pytest.approx(one_hop / 8, rel=0.4)
+    assert ring16.y_at(8) < ring16.y_at(2) < one_hop
+    # And the run completed at all: bubble flow control prevented the
+    # cyclic-saturation deadlock this workload otherwise creates.

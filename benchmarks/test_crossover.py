@@ -1,0 +1,18 @@
+"""E16: the PIO/DMA transport split of §III-F."""
+
+from benchmarks.conftest import record_table
+from repro.bench.experiments import pio_dma_crossover
+from repro.units import KiB
+
+
+def test_pio_dma_crossover(benchmark):
+    table = benchmark.pedantic(pio_dma_crossover, rounds=1, iterations=1)
+    record_table(table.render())
+    pio = table.series["tca-pio"]
+    dma = table.series["tca-dma"]
+    # "PIO communication is useful for the short message transfer": PIO
+    # wins below ~2 KB, the DMA machinery wins beyond.
+    assert pio.y_at(64) < dma.y_at(64)
+    assert pio.y_at(1 * KiB) < dma.y_at(1 * KiB)
+    assert dma.y_at(4 * KiB) < pio.y_at(4 * KiB)
+    assert dma.y_at(16 * KiB) < pio.y_at(16 * KiB)

@@ -1,0 +1,37 @@
+"""E9 / Fig. 12: remote DMA write bandwidth to the adjacent node."""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.bench.experiments import fig12
+from repro.bench.harness import TwoNodeRig
+from repro.units import KiB
+
+
+def test_fig12_full_sweep(benchmark):
+    table = benchmark.pedantic(fig12, rounds=1, iterations=1)
+    record_table(table.render())
+    remote_cpu = table.series["remote CPU"]
+    local_cpu = table.series["local CPU (write)"]
+    remote_gpu = table.series["remote GPU"]
+    local_gpu = table.series["local GPU (write)"]
+    # "The bandwidth to the CPU memory decreases for the small data size."
+    assert remote_cpu.y_at(512) < 0.6 * local_cpu.y_at(512)
+    # "The bandwidth at 4 Kbytes is approximately the same."
+    assert remote_cpu.y_at(4 * KiB) == pytest.approx(
+        local_cpu.y_at(4 * KiB), rel=0.05)
+    # "The bandwidth to the GPU memory is approximately the same as the
+    # bandwidth within a node" at every size.
+    for size, y in remote_gpu.points:
+        assert y == pytest.approx(local_gpu.y_at(size), rel=0.05)
+
+
+@pytest.mark.parametrize("target", ["cpu", "gpu"])
+def test_fig12_cell_4k(benchmark, target):
+    def cell():
+        rig = TwoNodeRig()
+        _, bw = rig.measure_remote_write(4 * KiB, target)
+        return bw
+
+    bw = benchmark.pedantic(cell, rounds=3, iterations=1)
+    assert bw > 3.0

@@ -1,0 +1,36 @@
+"""E4 / Fig. 7: data size vs bandwidth, 255 chained DMAs, CPU/GPU x R/W."""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.bench.experiments import fig7
+from repro.bench.harness import SingleNodeRig
+from repro.units import KiB
+
+
+def test_fig7_full_sweep(benchmark):
+    table = benchmark.pedantic(fig7, rounds=1, iterations=1)
+    record_table(table.render())
+    write_cpu = table.series["CPU (write)"]
+    read_cpu = table.series["CPU (read)"]
+    read_gpu = table.series["GPU (read)"]
+    # Shape assertions straight from the paper's text.
+    assert write_cpu.y_at(4 * KiB) == pytest.approx(3.3, abs=0.1)
+    assert read_gpu.peak == pytest.approx(0.83, abs=0.02)
+    assert read_cpu.y_at(256) < write_cpu.y_at(256)
+    assert read_cpu.y_at(4 * KiB) > 0.8 * write_cpu.y_at(4 * KiB)
+    # Monotone rise to the 4 KB peak.
+    ys = [y for _, y in sorted(write_cpu.points)]
+    assert ys == sorted(ys)
+
+
+@pytest.mark.parametrize("op,target", [("write", "cpu"), ("write", "gpu"),
+                                       ("read", "cpu"), ("read", "gpu")])
+def test_fig7_cell_4k(benchmark, op, target):
+    def cell():
+        rig = SingleNodeRig()
+        _, bw = rig.measure(op, target, 4 * KiB, 255)
+        return bw
+
+    bw = benchmark.pedantic(cell, rounds=3, iterations=1)
+    assert bw > 0.5

@@ -1,0 +1,30 @@
+"""E5 / Fig. 8: data size vs bandwidth for a single DMA request."""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.bench.experiments import fig8
+from repro.bench.harness import SingleNodeRig
+from repro.units import KiB
+
+
+def test_fig8_full_sweep(benchmark):
+    table = benchmark.pedantic(fig8, rounds=1, iterations=1)
+    record_table(table.render())
+    write_cpu = table.series["CPU (write)"]
+    # Severe degradation below the knee; recovering by 32 KB.
+    assert write_cpu.y_at(1 * KiB) < 0.5
+    assert write_cpu.y_at(4 * KiB) < 1.3
+    assert write_cpu.y_at(32 * KiB) > 2.4
+    ys = [y for _, y in sorted(write_cpu.points)]
+    assert ys == sorted(ys)
+
+
+def test_fig8_single_4k_write(benchmark):
+    def cell():
+        rig = SingleNodeRig()
+        _, bw = rig.measure("write", "cpu", 4 * KiB, count=1)
+        return bw
+
+    bw = benchmark.pedantic(cell, rounds=5, iterations=1)
+    assert 0.8 < bw < 1.4

@@ -1,0 +1,30 @@
+"""E6 / Fig. 9: number of DMA requests vs bandwidth at 4 Kbytes."""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.bench.experiments import fig9
+from repro.bench.harness import SingleNodeRig
+from repro.units import KiB
+
+
+def test_fig9_full_sweep(benchmark):
+    table = benchmark.pedantic(fig9, rounds=1, iterations=1)
+    record_table(table.render())
+    write_cpu = table.series["CPU (write)"]
+    peak = write_cpu.y_at(255)
+    # "DMA transfer including four requests achieves approximately 70% of
+    # the maximum performance."
+    assert write_cpu.y_at(4) / peak == pytest.approx(0.70, abs=0.07)
+    ys = [y for _, y in sorted(write_cpu.points)]
+    assert ys == sorted(ys)
+
+
+@pytest.mark.parametrize("count", [1, 4, 255])
+def test_fig9_cell(benchmark, count):
+    def cell():
+        rig = SingleNodeRig()
+        _, bw = rig.measure("write", "cpu", 4 * KiB, count)
+        return bw
+
+    benchmark.pedantic(cell, rounds=3, iterations=1)

@@ -1,0 +1,17 @@
+"""E17: the §II-B hierarchical network — TCA locally, InfiniBand globally."""
+
+from benchmarks.conftest import record_table
+from repro.bench.experiments import hierarchy
+from repro.units import KiB
+
+
+def test_hierarchy(benchmark):
+    table = benchmark.pedantic(hierarchy, rounds=1, iterations=1)
+    record_table(table.render())
+    local = table.series["local (TCA)"]
+    global_ = table.series["global (IB)"]
+    # "TCA interconnect for local communication with low latency":
+    assert local.y_at(64) < 0.5 * global_.y_at(64)
+    assert local.y_at(1 * KiB) < global_.y_at(1 * KiB)
+    # "InfiniBand for global communication with high bandwidth":
+    assert global_.y_at(256 * KiB) < local.y_at(256 * KiB)

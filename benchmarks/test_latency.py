@@ -1,0 +1,23 @@
+"""E8 / Fig. 10 + §IV-B1: PIO loopback latency through two PEACH2 chips."""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.bench.experiments import latency
+from repro.bench.loopback import LoopbackRig
+
+
+def test_latency_report(benchmark):
+    numbers = benchmark.pedantic(latency, rounds=1, iterations=1)
+    record_table("Fig. 10 PIO loopback latency:\n" + "\n".join(
+        f"  {k} = {v:.1f} ns" for k, v in numbers.items()))
+    assert numbers["pio_one_way_ns"] == pytest.approx(782.0, abs=1.0)
+    assert numbers["pio_one_way_ns"] < numbers["infiniband_fdr_claim_ns"]
+
+
+def test_latency_single_store(benchmark):
+    def cell():
+        return LoopbackRig().pio_commit_latency_ns()
+
+    ns_value = benchmark.pedantic(cell, rounds=3, iterations=1)
+    assert ns_value == pytest.approx(782.0, abs=1.0)

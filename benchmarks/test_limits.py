@@ -1,0 +1,18 @@
+"""E7 / §IV-A2: GPU-read ceiling and QPI peer-to-peer degradation."""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.bench.experiments import limits
+
+
+def test_limits(benchmark):
+    numbers = benchmark.pedantic(limits, rounds=1, iterations=1)
+    record_table("§IV-A2 limits:\n" + "\n".join(
+        f"  {k} = {v:.3f} GB/s" for k, v in numbers.items()))
+    # "the maximum DMA read performance is only 830 Mbytes/sec"
+    assert numbers["gpu_read_gbytes"] == pytest.approx(0.83, abs=0.02)
+    # "DMA write access to the GPU on another socket over QPI is severely
+    # degraded by up to several hundred Mbytes/sec"
+    assert numbers["gpu_write_over_qpi_gbytes"] < 0.5
+    assert numbers["gpu_write_same_socket_gbytes"] > 3.0

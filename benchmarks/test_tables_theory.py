@@ -1,0 +1,26 @@
+"""E1/E2/E3: specification tables and Eq. (1)."""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.bench.experiments import table1, table2, theory
+
+
+def test_table1(benchmark):
+    text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    record_table(text)
+    assert "802 TFlops" in text
+
+
+def test_table2(benchmark):
+    text = benchmark.pedantic(table2, rounds=1, iterations=1)
+    record_table(text)
+    assert "NVIDIA K20" in text
+
+
+def test_theory_eq1(benchmark):
+    numbers = benchmark.pedantic(theory, rounds=1, iterations=1)
+    record_table("Eq. (1) and bounds:\n" + "\n".join(
+        f"  {k} = {v:.3f}" for k, v in numbers.items()))
+    assert numbers["eq1_peak_gbytes"] == pytest.approx(3.66, abs=0.01)
+    assert numbers["gpu_read_bound_gbytes"] == pytest.approx(0.83, abs=0.01)

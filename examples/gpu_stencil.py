@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Multi-GPU Jacobi across nodes: kernels on GPUs, halos over TCA.
+
+The §II application pattern end to end: the field lives in GPU memory on
+every node; each iteration launches a roofline-timed kernel and exchanges
+boundary rows *directly between GPUs on different nodes* over the PEACH2
+ring (GPUDirect-pinned BARs on both ends) — zero host staging.
+
+Run:  python examples/gpu_stencil.py
+"""
+
+import numpy as np
+
+from repro.apps.gpu_stencil import GPUStencil
+from repro.hw.node import NodeParams
+from repro.tca.subcluster import TCASubCluster
+
+
+def main() -> None:
+    nodes, rows, cols = 4, 64, 128
+    print(f"{nodes} nodes x 1 GPU, {rows}x{cols} strip per GPU "
+          f"({nodes * rows}x{cols} global), hot wall at the top\n")
+    cluster = TCASubCluster(nodes, node_params=NodeParams(num_gpus=2))
+    stencil = GPUStencil(cluster, rows_per_node=rows, cols=cols)
+
+    for round_no in range(3):
+        stats = stencil.run(iterations=8)
+        grid = stencil.global_interior()
+        frontier = int(np.argmax((grid > 0.5).sum(axis=1) == 0))
+        print(f"after {8 * (round_no + 1):2d} iterations: "
+              f"heat={grid.sum():10.1f}  warm frontier at row "
+              f"{frontier or nodes * rows}/{nodes * rows}  "
+              f"[{stats.kernel_ns / 1e3:6.1f} us kernels, "
+              f"{stats.exchange_ns / 1e3:6.1f} us halos]")
+
+    stats = stencil.run(iterations=8)
+    comm_fraction = stats.exchange_ns / stats.total_ns
+    print(f"\ncommunication fraction at this grid size: "
+          f"{comm_fraction * 100:.0f}%")
+    print("halo path: GPU BAR -> PEACH2 internal memory -> ring -> "
+          "remote GPU BAR (no host copies);")
+    print("each halo row is one two-phase chained-DMA put with a "
+          "PCIe-ordered flag behind it.")
+
+    # Show that host memory saw (almost) none of it.
+    dram_bytes = sum(cluster.node(r).dram.bytes_written
+                     for r in range(nodes))
+    gpu_bytes = sum(cluster.node(r).gpus[0].bytes_written
+                    for r in range(nodes))
+    print(f"\nbytes written to GPU memories over PCIe: {gpu_bytes:,}")
+    print(f"bytes written to host DRAMs (flags only):  {dram_bytes:,}")
+
+
+if __name__ == "__main__":
+    main()

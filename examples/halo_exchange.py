@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""2-D Jacobi heat diffusion across a TCA sub-cluster.
+
+The domain is split into vertical strips; every iteration the boundary
+*columns* are exchanged with ring neighbours using chained block-stride
+DMA — the multidimensional-array use case §III-B and §III-H call out for
+the chaining mechanism.  Heat from the hot left wall diffuses across node
+boundaries, proving the exchange carries real data.
+
+Run:  python examples/halo_exchange.py
+"""
+
+import numpy as np
+
+from repro.apps.halo import HaloExchange2D
+from repro.hw.node import NodeParams
+from repro.tca.subcluster import TCASubCluster
+
+
+def render_strip(grid: np.ndarray) -> list:
+    """Coarse ASCII heat map of one strip's interior."""
+    shades = " .:-=+*#%@"
+    rows = []
+    for row in grid[::8, 1:-1]:
+        rows.append("".join(
+            shades[min(9, int(v / 100 * 9.99))] for v in row))
+    return rows
+
+
+def main() -> None:
+    nodes, rows, cols = 4, 64, 16
+    print(f"{nodes}-node ring, {rows}x{cols} strip per node "
+          f"({rows}x{nodes * cols} global grid), hot wall at x=0\n")
+    cluster = TCASubCluster(nodes, node_params=NodeParams(num_gpus=1))
+    halo = HaloExchange2D(cluster, rows=rows, cols_per_node=cols)
+
+    total_exchange_ns = 0.0
+    for round_no in range(4):
+        stats = halo.run(iterations=8)
+        total_exchange_ns += stats.exchange_ns
+        heat = halo.global_heat()
+        frontier = max(
+            (rank * cols + int(np.argmax(
+                halo.read_grid(rank)[rows // 2, 1:-1] > 0.5)))
+            for rank in range(nodes)
+            if (halo.read_grid(rank)[rows // 2, 1:-1] > 0.5).any())
+        print(f"after {8 * (round_no + 1):3d} iterations: "
+              f"total heat {heat:9.1f}, warm frontier at column "
+              f"{frontier}/{nodes * cols}")
+
+    print("\nglobal heat map (every 8th row; strips joined at '|'):")
+    strips = [render_strip(halo.read_grid(r)) for r in range(nodes)]
+    for line_parts in zip(*strips):
+        print("|".join(line_parts))
+
+    print(f"\nhalo-exchange time: {total_exchange_ns / 1000:.1f} us of "
+          f"simulated time over 32 iterations")
+    print("each exchange = 2 chained block-stride DMAs of "
+          f"{rows} x 8-byte blocks (one per ring neighbour)")
+
+
+if __name__ == "__main__":
+    main()

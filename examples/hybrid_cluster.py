@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The HA-PACS/TCA production machine: TCA sub-clusters + InfiniBand.
+
+§VI: "the HA-PACS/TCA cluster ... will include several dozen compute
+nodes (each of which has four GPUs, an InfiniBand host adaptor, and a
+PEACH2 board)".  This example builds a small version of that machine —
+two 4-node TCA sub-clusters on a switched QDR fabric — and shows the
+hierarchical communication policy of §II-B in action.
+
+Run:  python examples/hybrid_cluster.py
+"""
+
+import numpy as np
+
+from repro.hw.node import NodeParams
+from repro.tca.hybrid import HybridCluster, HybridComm
+from repro.units import KiB, pretty_size
+
+
+def main() -> None:
+    cluster = HybridCluster(num_subclusters=2, nodes_per_subcluster=4,
+                            node_params=NodeParams(num_gpus=2))
+    comm = HybridComm(cluster)
+    print(f"hybrid machine: {cluster.num_nodes} nodes = "
+          f"2 TCA sub-clusters x 4, QDR fabric between them\n")
+
+    pairs = [(0, 1, "same sub-cluster, adjacent"),
+             (0, 2, "same sub-cluster, 2 hops"),
+             (0, 4, "different sub-clusters"),
+             (3, 7, "different sub-clusters")]
+
+    print(f"{'pair':>8}  {'size':>6}  {'transport':>9}  {'time':>10}  note")
+    for size in (64, 1 * KiB, 64 * KiB):
+        for src, dst, note in pairs:
+            sub, local = cluster.locate(src)
+            data = np.random.default_rng(src * 8 + dst).integers(
+                0, 256, size, dtype=np.uint8)
+            cluster.subclusters[sub].driver(local).fill_dma_buffer(0, data)
+            start = cluster.engine.now_ps
+            transport = cluster.engine.run_process(
+                comm.put(src, dst, 0, 0x100000, size))
+            elapsed_us = (cluster.engine.now_ps - start) / 1e6
+            # Verify delivery.
+            dsub, dlocal = cluster.locate(dst)
+            got = cluster.subclusters[dsub].driver(dlocal).read_dma_buffer(
+                0x100000, size)
+            assert np.array_equal(got, data)
+            print(f"  {src}->{dst:<3}  {pretty_size(size):>6}  "
+                  f"{transport:>9}  {elapsed_us:8.2f}us  {note}")
+        print()
+
+    print(f"puts via TCA: {comm.puts_via_tca}, via InfiniBand: "
+          f"{comm.puts_via_ib}")
+    print("\npolicy: local + small -> PIO stores over the PCIe ring;")
+    print("        local + bulk  -> chained DMA over the ring;")
+    print("        global        -> MPI over the InfiniBand fabric (§II-B)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Survey of GPU-to-GPU and host-to-host communication paths.
+
+Reproduces the paper's motivation (§I): the conventional three-copy
+GPU-to-GPU path over MPI+InfiniBand versus direct TCA communication, plus
+the IB+GPUDirect-RDMA middle ground.  Shows where each path wins.
+
+Run:  python examples/path_survey.py          (quick survey)
+      python examples/path_survey.py --full   (more sizes)
+"""
+
+import sys
+
+from repro.baselines.paths import (ConventionalPath, GDRPath, MPIHostPath,
+                                   TCADMAPath, TCAPIOPath, VerbsPath)
+from repro.units import KiB, MiB, pretty_size
+
+
+def survey(title, paths, sizes):
+    print(f"\n== {title} ==")
+    names = [p.name for p in paths]
+    print(f"{'size':>6} | " + " | ".join(f"{n:>18}" for n in names))
+    print("-" * (9 + 21 * len(names)))
+    for size in sizes:
+        cells = []
+        for path in paths:
+            try:
+                result = path.transfer(size)
+            except Exception:
+                cells.append(f"{'-':>18}")
+                continue
+            if result.latency_us < 100:
+                cells.append(f"{result.latency_us:>12.2f} us   ")
+            else:
+                cells.append(f"{result.bandwidth_gbytes:>12.2f} GB/s ")
+        print(f"{pretty_size(size):>6} | " + " | ".join(cells))
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    host_sizes = ([8, 256, 4 * KiB, 64 * KiB, 1 * MiB] if not full else
+                  [8, 64, 512, 4 * KiB, 32 * KiB, 256 * KiB, 1 * MiB,
+                   4 * MiB])
+    gpu_sizes = host_sizes[1:] if not full else host_sizes
+
+    survey("host-to-host (one-way, observed at destination)",
+           [TCAPIOPath(), TCADMAPath(), TCADMAPath(pipelined=True),
+            VerbsPath(), MPIHostPath()],
+           host_sizes)
+
+    survey("GPU-to-GPU across nodes",
+           [TCADMAPath(gpu=True), GDRPath(), ConventionalPath(),
+            ConventionalPath(chunk_bytes=256 * KiB)],
+           gpu_sizes)
+
+    print("""
+reading the table:
+  * small messages: TCA wins outright — no MPI stack, no staging copies,
+    sub-microsecond PIO (the paper's 782 ns anchor).
+  * large host messages: a QDR IB rail out-streams the *current*
+    two-phase DMAC; the pipelined next-generation DMAC (§IV-B2) closes
+    that gap to the PCIe line rate.
+  * large GPU messages: every path that READS GPU memory over PCIe hits
+    the ~830 MB/s BAR1 ceiling (§IV-A2); the host-staged pipeline avoids
+    it because cudaMemcpy D2H is a GPU-side *write*.
+""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: build a TCA sub-cluster and do direct puts between nodes.
+
+Demonstrates the three §III-F transports on a 4-node ring:
+
+1. PIO put   — CPU stores through the mmapped TCA window (lowest latency);
+2. DMA put   — the chaining DMA controller, two-phase via internal memory;
+3. GPU put   — ``tca_memcpy_peer``: the §III-H cudaMemcpyPeer-with-node-ID.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import TCASubCluster, TCAComm
+from repro.hw.node import NodeParams
+
+
+def main() -> None:
+    print("Building a 4-node TCA sub-cluster (ring of PEACH2 boards)...")
+    cluster = TCASubCluster(num_nodes=4, node_params=NodeParams(num_gpus=2))
+    comm = TCAComm(cluster)
+    engine = cluster.engine
+    print(f"  TCA window at 0x{cluster.address_map.base:x}, "
+          f"{cluster.address_map.node_stride >> 30} GiB per node\n")
+
+    # ---- 1. PIO put: node 0 -> node 2 host memory -------------------------
+    message = np.frombuffer(b"hello from node 0 over the PCIe ring!",
+                            dtype=np.uint8).copy()
+    dst_offset = cluster.driver(2).dma_buffer(0)
+    dst_global = comm.host_global(2, dst_offset)
+    t0 = engine.now_ns
+    comm.put_pio(0, dst_global, message)
+    engine.run()
+    got = cluster.driver(2).read_dma_buffer(0, len(message))
+    print(f"PIO put, node0 -> node2 ({len(message)} B): "
+          f"{bytes(got).decode()!r}")
+    print(f"  delivered in {engine.now_ns - t0:.0f} ns "
+          "(2 ring hops, no MPI, no host staging)\n")
+
+    # ---- 2. chained DMA put: node 1 -> node 3 ----------------------------
+    payload = np.random.default_rng(42).integers(0, 256, 64 * 1024,
+                                                 dtype=np.uint8)
+    src = cluster.driver(1).dma_buffer(0)
+    cluster.node(1).dram.cpu_write(src, payload)
+    dst_global = comm.host_global(3, cluster.driver(3).dma_buffer(0))
+
+    elapsed_ps = engine.run_process(
+        comm.put_dma(1, src, dst_global, len(payload)))
+    engine.run()
+    ok = np.array_equal(cluster.driver(3).read_dma_buffer(0, len(payload)),
+                        payload)
+    gbs = len(payload) / (elapsed_ps / 1e12) / 1e9
+    print(f"DMA put, node1 -> node3 (64 KiB): verified={ok}, "
+          f"{elapsed_ps / 1e6:.1f} us doorbell-to-interrupt, "
+          f"{gbs:.2f} GB/s")
+    print("  (two-phase through PEACH2 internal memory — the current "
+          "DMAC, §IV-B2)\n")
+
+    # ---- 3. GPU-to-GPU across nodes (§III-H) ------------------------------
+    src_ptr = cluster.cuda[0].cu_mem_alloc(0, 32 * 1024)
+    dst_ptr = cluster.cuda[1].cu_mem_alloc(1, 32 * 1024)
+    gpu_data = np.random.default_rng(7).integers(0, 256, 32 * 1024,
+                                                 dtype=np.uint8)
+    cluster.cuda[0].upload(src_ptr, gpu_data)
+
+    elapsed_ps = engine.run_process(
+        comm.tca_memcpy_peer(dst_node=1, dst_ptr=dst_ptr,
+                             src_node=0, src_ptr=src_ptr, nbytes=32 * 1024))
+    engine.run()
+    ok = np.array_equal(cluster.cuda[1].download(dst_ptr, 32 * 1024),
+                        gpu_data)
+    print(f"tca_memcpy_peer, node0.GPU0 -> node1.GPU1 (32 KiB): "
+          f"verified={ok}, {elapsed_ps / 1e6:.1f} us")
+    print("  (GPUDirect-pinned BARs on both ends; data never touches "
+          "host memory)\n")
+
+    # ---- health ------------------------------------------------------------
+    print(cluster.board(0).chip.firmware.health_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — Tightly Coupled Accelerators (TCA) with PEACH2, reproduced.
+
+A production-quality, discrete-event reproduction of:
+
+    Hanawa, Kodama, Boku, Sato: "Tightly Coupled Accelerators Architecture
+    for Minimizing Communication Latency among Accelerators", 2013.
+
+Quick start::
+
+    from repro import TCASubCluster, TCAComm
+    import numpy as np
+
+    cluster = TCASubCluster(num_nodes=4)
+    comm = TCAComm(cluster)
+    data = np.arange(64, dtype=np.uint8)
+    dst = comm.host_global(node_id=1, offset=cluster.driver(1).dma_buffer(0))
+    comm.put_pio(src_node=0, dst_global=dst, data=data)
+    cluster.engine.run()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured results.
+"""
+
+from repro.sim import Engine
+from repro.hw.node import ComputeNode, NodeParams
+from repro.peach2.board import PEACH2Board
+from repro.peach2.chip import PEACH2Chip, PEACH2Params
+from repro.peach2.descriptor import DMADescriptor, DescriptorFlags
+from repro.drivers import P2PDriver, PEACH2Driver
+from repro.cuda import CudaContext, CudaParams, DevicePtr
+from repro.tca import (TCAAddressMap, TCAComm, TCASubCluster,
+                       HybridCluster, HybridComm,
+                       BLOCK_GPU0, BLOCK_GPU1, BLOCK_HOST, BLOCK_INTERNAL)
+from repro.tca.notify import FlagPool
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "ComputeNode",
+    "NodeParams",
+    "PEACH2Board",
+    "PEACH2Chip",
+    "PEACH2Params",
+    "DMADescriptor",
+    "DescriptorFlags",
+    "P2PDriver",
+    "PEACH2Driver",
+    "CudaContext",
+    "CudaParams",
+    "DevicePtr",
+    "TCAAddressMap",
+    "TCAComm",
+    "TCASubCluster",
+    "HybridCluster",
+    "HybridComm",
+    "FlagPool",
+    "BLOCK_GPU0",
+    "BLOCK_GPU1",
+    "BLOCK_HOST",
+    "BLOCK_INTERNAL",
+    "__version__",
+]

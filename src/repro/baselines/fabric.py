@@ -1,0 +1,101 @@
+"""A switched InfiniBand fabric: many HCAs behind one (logical) switch.
+
+The HA-PACS base cluster connects 268 nodes through 288-port QDR switches
+(Table I).  :class:`SwitchedFabric` models that star: every HCA gets a
+LID, frames are routed by destination LID with one switch-hop latency,
+and each source's uplink serializes at the wire rate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.ib import IBHca, IBParams, IBSwitch, QDR_PARAMS
+from repro.baselines.mpi import MPIParams, MPIWorld
+from repro.errors import ConfigError
+from repro.hw.node import ComputeNode, NodeParams
+from repro.sim.core import Engine
+from repro.sim.queues import Store
+from repro.units import MiB, ns, transfer_ps
+
+
+class SwitchedHca(IBHca):
+    """An HCA cabled to a :class:`SwitchedFabric` instead of a peer."""
+
+    def __init__(self, engine, name, params: IBParams,
+                 fabric: "SwitchedFabric"):
+        super().__init__(engine, name, params)
+        self.fabric = fabric
+        self.lid = fabric.register(self)
+
+    def _send_frame(self, frame) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += frame.wire_bytes
+        self.fabric.transmit(self, frame)
+
+
+class SwitchedFabric:
+    """Central switch: routes frames by destination LID."""
+
+    def __init__(self, engine: Engine, params: IBParams = QDR_PARAMS,
+                 switch_latency_ps: int = ns(110)):
+        self.engine = engine
+        self.params = params
+        self.switch = IBSwitch(engine, switch_latency_ps)
+        self.endpoints: List[SwitchedHca] = []
+        self._uplinks = {}
+
+    def register(self, hca: SwitchedHca) -> int:
+        """Assign the next LID."""
+        self.endpoints.append(hca)
+        return len(self.endpoints) - 1
+
+    def transmit(self, source: SwitchedHca, frame) -> None:
+        """Accept a frame onto the source's uplink."""
+        uplink = self._uplinks.get(id(source))
+        if uplink is None:
+            uplink = Store(self.engine)
+            self._uplinks[id(source)] = uplink
+            self.engine.process(self._pump(uplink), name="ib-fabric")
+        uplink.put(frame)
+
+    def _pump(self, uplink: Store):
+        while True:
+            frame = yield uplink.get()
+            yield transfer_ps(frame.wire_bytes, self.params.wire_bytes_per_ps)
+            if not 0 <= frame.dst_lid < len(self.endpoints):
+                raise ConfigError(f"no endpoint with LID {frame.dst_lid}")
+            dest = self.endpoints[frame.dst_lid]
+            self.engine.after(
+                self.params.link_latency_ps + self.switch.delay(),
+                dest.receive_frame, frame)
+
+
+class IBGroup:
+    """N nodes with switched HCAs and an MPI world — an IB-only cluster."""
+
+    def __init__(self, num_nodes: int,
+                 node_params: NodeParams = NodeParams(num_gpus=1),
+                 ib_params: IBParams = QDR_PARAMS,
+                 mpi_params: MPIParams = MPIParams(),
+                 engine: Engine = None):
+        if num_nodes < 2:
+            raise ConfigError("an IB group needs at least two nodes")
+        self.engine = engine or Engine()
+        self.fabric = SwitchedFabric(self.engine, ib_params)
+        self.nodes: List[ComputeNode] = []
+        self.hcas: List[SwitchedHca] = []
+        self.world = MPIWorld(mpi_params)
+        self.ranks = []
+        self.buffers: List[int] = []
+        for i in range(num_nodes):
+            node = ComputeNode(self.engine, f"ibg{i}", node_params)
+            hca = SwitchedHca(self.engine, f"ibg{i}.hca", ib_params,
+                              self.fabric)
+            from repro.pcie.gen import PCIeGen
+            node.install_adapter(hca, lanes=8, gen=PCIeGen.GEN3)
+            node.enumerate()
+            self.nodes.append(node)
+            self.hcas.append(hca)
+            self.ranks.append(self.world.add_endpoint(node, hca))
+            self.buffers.append(node.dram_alloc(16 * MiB))

@@ -1,0 +1,14 @@
+"""Benchmark harness: one module per paper table/figure, plus a CLI.
+
+Every experiment can be regenerated standalone::
+
+    python -m repro.bench fig7
+    tca-bench latency
+
+or through the pytest-benchmark wrappers in ``benchmarks/``.
+"""
+
+from repro.bench.series import Series, SweepTable
+from repro.bench.loopback import LoopbackRig
+
+__all__ = ["Series", "SweepTable", "LoopbackRig"]

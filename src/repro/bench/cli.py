@@ -1,0 +1,95 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.bench <experiment> [...]
+    tca-bench --list
+    tca-bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.bench import experiments
+from repro.bench.series import SweepTable
+
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "table1": experiments.table1,
+    "table2": experiments.table2,
+    "theory": experiments.theory,
+    "fig7": experiments.fig7,
+    "fig8": experiments.fig8,
+    "fig9": experiments.fig9,
+    "limits": experiments.limits,
+    "latency": experiments.latency,
+    "fig12": experiments.fig12,
+    "comparison-host": experiments.comparison_host,
+    "comparison-gpu": experiments.comparison_gpu,
+    "pio-dma-crossover": experiments.pio_dma_crossover,
+    "hierarchy": experiments.hierarchy,
+    "collectives": experiments.collectives,
+    "contention": experiments.contention,
+    "validate": lambda: _validate(),
+    "ablation-dmac": experiments.ablation_dmac,
+    "ablation-ring": experiments.ablation_ring,
+    "ablation-ntb": experiments.ablation_ntb,
+}
+
+
+def _validate() -> str:
+    from repro.model.validate import render_validation, validate_calibration
+
+    return render_validation(validate_calibration())
+
+
+def render(result: object, chart: bool = False) -> str:
+    """Uniform rendering for tables, sweeps and scalar dicts."""
+    if isinstance(result, SweepTable):
+        text = result.render()
+        if chart:
+            text += "\n\n" + result.render_chart()
+        return text
+    if isinstance(result, dict):
+        width = max(len(str(k)) for k in result)
+        return "\n".join(f"{k:<{width}} : {v}" for k, v in result.items())
+    return str(result)
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="tca-bench",
+        description="Regenerate the paper's tables and figures from the "
+                    "TCA/PEACH2 simulation.")
+    parser.add_argument("experiment", nargs="?", default=None,
+                        help="experiment name, or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--chart", action="store_true",
+                        help="also render sweeps as ASCII charts")
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
+            return 2
+        print(f"==== {name} ====")
+        print(render(runner(), chart=args.chart))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

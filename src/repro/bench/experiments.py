@@ -1,0 +1,408 @@
+"""One entry point per paper table/figure (the E1-E14 index in DESIGN.md).
+
+Each function builds fresh rigs, runs the sweep, and returns a
+:class:`~repro.bench.series.SweepTable` (or a dict for scalar results)
+whose ``render()`` matches the paper's rows/series.  The CLI
+(``python -m repro.bench <name>``) and the pytest-benchmark wrappers in
+``benchmarks/`` both call these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines.ntb import NTBPair
+from repro.errors import ConfigError
+from repro.baselines.paths import (ConventionalPath, GDRPath, MPIHostPath,
+                                   PathResult, TCADMAPath, TCAPIOPath,
+                                   VerbsPath)
+from repro.bench.harness import (DEFAULT_SIZES, PAPER_BURST, SingleNodeRig,
+                                 TwoNodeRig)
+from repro.bench.loopback import LoopbackRig
+from repro.bench.series import Series, SweepTable
+from repro.hw.node import NodeParams
+from repro.model.specs import render_table1, render_table2
+from repro.model.theory import (latency_bandwidth_bound_gbytes,
+                                pcie_effective_rate_gbytes,
+                                theoretical_peak_gen2_x8)
+from repro.peach2.descriptor import DMADescriptor
+from repro.pcie.gen import PCIeGen
+from repro.tca.subcluster import TCASubCluster
+from repro.tca.topology import ring_hop_count
+from repro.units import KiB, MiB, bw_gbytes_per_s
+
+FIG7_SIZES = DEFAULT_SIZES[:7]          # 64 B .. 4 KB (the paper's peak)
+FIG8_SIZES = DEFAULT_SIZES              # extends past the 8 KB knee
+FIG9_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 255)
+
+
+# -- E1/E2: specification tables -------------------------------------------------
+
+def table1() -> str:
+    """Table I rendered from the spec model."""
+    return render_table1()
+
+
+def table2() -> str:
+    """Table II rendered from the spec model."""
+    return render_table2()
+
+
+# -- E3: Eq. (1) -----------------------------------------------------------------
+
+def theory() -> Dict[str, float]:
+    """The paper's closed-form numbers."""
+    return {
+        "gen2_x8_raw_gbytes": pcie_effective_rate_gbytes(PCIeGen.GEN2, 8,
+                                                         mps_bytes=10**9),
+        "eq1_peak_gbytes": theoretical_peak_gen2_x8(),
+        "gpu_read_bound_gbytes": latency_bandwidth_bound_gbytes(
+            outstanding=4, chunk_bytes=256, round_trip_ps=1232_000),
+    }
+
+
+# -- E4: Fig. 7 -------------------------------------------------------------------
+
+def fig7(sizes: Sequence[int] = FIG7_SIZES,
+         count: int = PAPER_BURST) -> SweepTable:
+    """Data size vs bandwidth, PEACH2 <-> CPU/GPU, 255 chained DMAs."""
+    table = SweepTable(f"Fig. 7: data size vs bandwidth ({count} chained DMAs)")
+    for op in ("write", "read"):
+        for target in ("cpu", "gpu"):
+            for size in sizes:
+                rig = SingleNodeRig()
+                _, bw = rig.measure(op, target, size, count)
+                table.add(f"{target.upper()} ({op})", size, bw)
+    return table
+
+
+# -- E5: Fig. 8 ----------------------------------------------------------------------
+
+def fig8(sizes: Sequence[int] = FIG8_SIZES) -> SweepTable:
+    """Data size vs bandwidth for a single DMA request."""
+    table = SweepTable("Fig. 8: data size vs bandwidth (single DMA)")
+    for op in ("write", "read"):
+        for target in ("cpu", "gpu"):
+            for size in sizes:
+                rig = SingleNodeRig()
+                _, bw = rig.measure(op, target, size, count=1)
+                table.add(f"{target.upper()} ({op})", size, bw)
+    return table
+
+
+# -- E6: Fig. 9 -----------------------------------------------------------------------
+
+def fig9(counts: Sequence[int] = FIG9_COUNTS,
+         size: int = 4 * KiB) -> SweepTable:
+    """Number of DMA requests vs bandwidth at a fixed 4-KB data size."""
+    table = SweepTable("Fig. 9: DMA request count vs bandwidth (4 Kbytes)",
+                       x_label="requests", x_is_size=False)
+    for op in ("write", "read"):
+        for target in ("cpu", "gpu"):
+            for count in counts:
+                rig = SingleNodeRig()
+                _, bw = rig.measure(op, target, size, count)
+                table.add(f"{target.upper()} ({op})", count, bw)
+    return table
+
+
+# -- E7: §IV-A2 limits ------------------------------------------------------------------
+
+def limits() -> Dict[str, float]:
+    """GPU-read ceiling and QPI-crossing degradation."""
+    rig = SingleNodeRig(node_params=NodeParams(num_gpus=4))
+    _, gpu_read = rig.measure("read", "gpu", 4 * KiB, PAPER_BURST)
+
+    # DMA write to a GPU on the other socket: P2P over QPI.
+    rig2 = SingleNodeRig(node_params=NodeParams(num_gpus=4))
+    far_gpu = rig2.node.gpus[2]
+    ptr = rig2.cuda.cu_mem_alloc(2, 4 * MiB)
+    token = rig2.cuda.cu_pointer_get_attribute(
+        "CU_POINTER_ATTRIBUTE_P2P_TOKENS", ptr)
+    mapping = rig2.p2p.pin(far_gpu, token, ptr.offset, ptr.nbytes)
+    chain = rig2.write_chain(4 * KiB, PAPER_BURST, mapping.bus_address)
+    _, qpi_write = rig2.measure_chain(chain)
+
+    rig3 = SingleNodeRig()
+    _, near_write = rig3.measure("write", "gpu", 4 * KiB, PAPER_BURST)
+    return {
+        "gpu_read_gbytes": gpu_read,
+        "gpu_write_same_socket_gbytes": near_write,
+        "gpu_write_over_qpi_gbytes": qpi_write,
+    }
+
+
+# -- E8: Fig. 10 / §IV-B1 latency ----------------------------------------------------------
+
+def latency() -> Dict[str, float]:
+    """PIO loopback latency through two PEACH2 chips and one cable."""
+    rig = LoopbackRig()
+    commit_ns = rig.pio_commit_latency_ns()
+    rig2 = LoopbackRig()
+    polled = rig2.pio_store_latency()
+    return {
+        "pio_one_way_ns": commit_ns,
+        "pio_polled_ns": polled["polled_ns"],
+        "paper_ns": 782.0,
+        "infiniband_fdr_claim_ns": 1000.0,
+    }
+
+
+# -- E9: Fig. 12 -----------------------------------------------------------------------------
+
+def fig12(sizes: Sequence[int] = FIG7_SIZES,
+          count: int = PAPER_BURST) -> SweepTable:
+    """Remote DMA write bandwidth to the adjacent node (plus local refs)."""
+    table = SweepTable(
+        f"Fig. 12: size vs bandwidth to adjacent-node CPU/GPU "
+        f"({count} chained remote DMA writes)")
+    for target in ("cpu", "gpu"):
+        for size in sizes:
+            rig = TwoNodeRig()
+            _, bw = rig.measure_remote_write(size, target, count)
+            table.add(f"remote {target.upper()}", size, bw)
+    # The local curves Fig. 12 overlays for comparison.
+    for target in ("cpu", "gpu"):
+        for size in sizes:
+            rig = SingleNodeRig()
+            _, bw = rig.measure("write", target, size, count)
+            table.add(f"local {target.upper()} (write)", size, bw)
+    return table
+
+
+# -- E10: motivation comparison -----------------------------------------------------------------
+
+COMPARISON_SIZES = (8, 64, 512, 4 * KiB, 32 * KiB, 256 * KiB, 1 * MiB)
+
+
+def comparison_host(sizes: Sequence[int] = COMPARISON_SIZES) -> SweepTable:
+    """Host-to-host: TCA PIO / TCA DMA / IB verbs / MPI."""
+    table = SweepTable("E10a: host-to-host transfer time",
+                       y_label="microseconds")
+    paths = [TCAPIOPath(), TCADMAPath(), VerbsPath(), MPIHostPath()]
+    for path in paths:
+        for size in sizes:
+            if isinstance(path, TCAPIOPath) and size > 32 * KiB:
+                continue
+            result = path.transfer(size)
+            table.add(path.name, size, result.latency_us)
+    return table
+
+
+def comparison_gpu(sizes: Sequence[int] = COMPARISON_SIZES) -> SweepTable:
+    """GPU-to-GPU: TCA DMA vs conventional 3-copy vs IB+GDR."""
+    table = SweepTable("E10b: GPU-to-GPU transfer time",
+                       y_label="microseconds")
+    paths = [TCADMAPath(gpu=True), ConventionalPath(),
+             ConventionalPath(chunk_bytes=256 * KiB), GDRPath()]
+    for path in paths:
+        for size in sizes:
+            result = path.transfer(size)
+            table.add(path.name, size, result.latency_us)
+    return table
+
+
+# -- E11: DMAC ablation ------------------------------------------------------------------------------
+
+def ablation_dmac(sizes: Sequence[int] = (4 * KiB, 32 * KiB, 256 * KiB,
+                                          1 * MiB)) -> SweepTable:
+    """Two-phase (current) vs pipelined (next-generation) remote put."""
+    table = SweepTable("E11: two-phase vs pipelined DMAC (host-to-host put)")
+    for pipelined in (False, True):
+        path = TCADMAPath(pipelined=pipelined)
+        for size in sizes:
+            result = path.transfer(size)
+            table.add(path.name, size, result.bandwidth_gbytes)
+    return table
+
+
+# -- E12: ring-size ablation ---------------------------------------------------------------------------
+
+def ablation_ring(ring_sizes: Iterable[int] = (2, 4, 8, 16)) -> SweepTable:
+    """PIO latency vs hop count: why sub-clusters stay at 8-16 nodes."""
+    table = SweepTable("E12: ring size vs farthest-node PIO latency",
+                       x_label="ring nodes", y_label="nanoseconds",
+                       x_is_size=False)
+    for n in ring_sizes:
+        cluster = TCASubCluster(n, node_params=NodeParams(num_gpus=1))
+        engine = cluster.engine
+        dst_node = n // 2  # the antipodal node: worst case
+        hops = ring_hop_count(n, 0, dst_node)
+        drv = cluster.driver(dst_node)
+        offset = 0x40
+        target = cluster.address_map.global_address(
+            dst_node, 2, drv.dma_buffer(offset))
+        dram = cluster.node(dst_node).dram
+        start = engine.now_ps
+        cluster.node(0).cpu.store_u32(target, 0xBEEF0001)
+
+        def observe(dram=dram, addr=drv.dma_buffer(offset)):
+            while True:
+                word = dram.cpu_read(addr, 4)
+                if int.from_bytes(word.tobytes(), "little") == 0xBEEF0001:
+                    return engine.now_ps
+                yield 100
+
+        end = engine.run_process(observe(), name="observe")
+        table.add("one-way latency", n, (end - start) / 1000.0)
+        table.add("hops", n, hops)
+    return table
+
+
+# -- E16: PIO vs DMA crossover (§III-F's transport split) -------------------------------------------------
+
+def pio_dma_crossover(sizes: Sequence[int] = (8, 64, 256, 1 * KiB, 2 * KiB,
+                                              4 * KiB, 16 * KiB)) -> SweepTable:
+    """Destination-observed one-way time: PIO put vs one-shot DMA put.
+
+    Quantifies §III-F's guidance — "PIO communication is useful for the
+    short message transfer" — by locating the message size where the
+    chained-DMA machinery (doorbell + descriptor fetch + interrupt)
+    overtakes write-combining stores.
+    """
+    from repro.baselines.paths import TCADMAPath, TCAPIOPath
+
+    table = SweepTable("E16: PIO vs DMA one-way time",
+                       y_label="microseconds")
+    for path in (TCAPIOPath(), TCADMAPath()):
+        for size in sizes:
+            table.add(path.name, size, path.transfer(size).latency_us)
+    return table
+
+
+# -- E17: the hierarchical network (§II-B) ------------------------------------------------------------------
+
+def hierarchy(sizes: Sequence[int] = (64, 1 * KiB, 16 * KiB,
+                                      256 * KiB)) -> SweepTable:
+    """Local (TCA) vs global (InfiniBand) put time on HA-PACS/TCA.
+
+    §II-B's design point: "TCA interconnect for local communication with
+    low latency and InfiniBand for global communication with high
+    bandwidth" — measured on a 2x4-node hybrid machine.
+    """
+    from repro.tca.hybrid import HybridCluster, HybridComm
+
+    table = SweepTable("E17: hierarchical network — local vs global put",
+                       y_label="microseconds")
+    for label, src, dst in (("local (TCA)", 0, 1), ("global (IB)", 0, 4)):
+        for size in sizes:
+            cluster = HybridCluster(num_subclusters=2,
+                                    nodes_per_subcluster=4,
+                                    node_params=NodeParams(num_gpus=1))
+            comm = HybridComm(cluster)
+            sub, local = cluster.locate(src)
+            import numpy as np
+            data = np.full(size, 0x5A, dtype=np.uint8)
+            cluster.subclusters[sub].driver(local).fill_dma_buffer(0, data)
+            start = cluster.engine.now_ps
+            cluster.engine.run_process(comm.put(src, dst, 0, 0x40000, size))
+            table.add(label, size, (cluster.engine.now_ps - start) / 1e6)
+    return table
+
+
+# -- E18: collectives — TCA-native vs MPI over IB -----------------------------------------------------------
+
+def collectives(block_sizes: Sequence[int] = (1 * KiB, 4 * KiB, 64 * KiB),
+                num_nodes: int = 4) -> SweepTable:
+    """Ring allgather on N nodes: TCA sub-cluster vs MPI over QDR.
+
+    The §V claim made concrete: TCA applications "do not rely on the MPI
+    software stack", so a collective is just puts and flag polls; the MPI
+    version pays per-message stack and protocol costs every step.
+    """
+    import numpy as np
+
+    from repro.apps.allgather import ring_allgather
+    from repro.baselines.collectives import ring_allgather_mpi, run_all
+    from repro.baselines.fabric import IBGroup
+
+    table = SweepTable(
+        f"E18: ring allgather, {num_nodes} nodes (total time)",
+        x_label="block size", y_label="microseconds")
+    for block in block_sizes:
+        cluster = TCASubCluster(num_nodes,
+                                node_params=NodeParams(num_gpus=1))
+        ring_allgather(cluster, block_bytes=block)
+        table.add("tca", block, cluster.engine.now_ps / 1e6)
+
+        group = IBGroup(num_nodes, node_params=NodeParams(num_gpus=1))
+        for r in range(num_nodes):
+            data = np.random.default_rng(r).integers(0, 256, block,
+                                                     dtype=np.uint8)
+            group.nodes[r].dram.cpu_write(group.buffers[r] + r * block,
+                                          data)
+        start = group.engine.now_ps
+        run_all(group.engine,
+                ring_allgather_mpi(group.world, group.buffers, block))
+        table.add("mpi-ib", block, (group.engine.now_ps - start) / 1e6)
+    return table
+
+
+# -- E19: ring contention (§II-B's scaling limit) -----------------------------------------------------------
+
+def contention(ring_sizes: Sequence[int] = (4, 8, 16),
+               nbytes: int = 256 * KiB) -> SweepTable:
+    """All-nodes-shift traffic on the ring: per-flow bandwidth vs distance.
+
+    §II-B: "a large number of nodes degrades the performance".  When every
+    node puts to its k-hop neighbour simultaneously, each flow's packets
+    occupy k consecutive ring links, so per-flow bandwidth falls as ~1/k —
+    the congestion reason (besides latency, E12) sub-clusters stay small.
+    """
+    import numpy as np
+
+    from repro.peach2.descriptor import DMADescriptor
+    from repro.units import bw_gbytes_per_s
+
+    table = SweepTable("E19: simultaneous k-hop shifts — per-flow bandwidth",
+                       x_label="hop distance", x_is_size=False)
+    for n in ring_sizes:
+        max_hops = n // 2
+        for hops in sorted({1, 2, max_hops}):
+            cluster = TCASubCluster(n, node_params=NodeParams(num_gpus=1))
+            engine = cluster.engine
+            comm_map = cluster.address_map
+
+            def flow(src: int):
+                dst = (src + hops) % n
+                driver = cluster.driver(src)
+                chip = cluster.board(src).chip
+                target = comm_map.global_address(
+                    dst, 2, cluster.driver(dst).dma_buffer(0))
+                chain = [DMADescriptor(chip.bar2.base + i * 4096,
+                                       target + i * 4096, 4096)
+                         for i in range(nbytes // 4096)]
+                elapsed = yield engine.process(
+                    driver.run_chain(0, chain))
+                return elapsed
+
+            procs = [engine.process(flow(src), name=f"flow{src}")
+                     for src in range(n)]
+            while not all(p.done for p in procs):
+                if not engine.step():
+                    raise ConfigError("contention run deadlocked")
+            worst = max(p.result for p in procs)
+            table.add(f"{n}-node ring", hops,
+                      bw_gbytes_per_s(nbytes, worst))
+    return table
+
+
+# -- E14: NTB comparison ----------------------------------------------------------------------------------
+
+def ablation_ntb() -> Dict[str, object]:
+    """NTB vs PEACH2: latency parity, but very different failure modes."""
+    ntb = NTBPair()
+    ntb_latency = ntb.store_latency_ns()
+    ntb.cut_cable()
+
+    rig = LoopbackRig()
+    peach2_latency = rig.pio_commit_latency_ns()
+    # Cut a PEACH2 ring cable: the host connection (port N) is unaffected.
+    rig.board_a.chip.port_e.link.take_down()
+    host_link_up = rig.board_a.chip.port_n.link.up
+    return {
+        "ntb_store_latency_ns": ntb_latency,
+        "peach2_store_latency_ns": peach2_latency,
+        "ntb_hosts_require_reboot_after_unplug": ntb.hosts_require_reboot,
+        "peach2_host_link_up_after_ring_cut": host_link_up,
+    }

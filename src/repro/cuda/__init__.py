@@ -1,0 +1,20 @@
+"""CUDA-like runtime: device memory, memcpy engines, P2P tokens, UVA.
+
+A deliberately small model of the CUDA 5 features the paper depends on:
+``cuMemAlloc``, ``cuPointerGetAttribute(CU_POINTER_ATTRIBUTE_P2P_TOKENS)``
+(§IV-A2 steps 1-2), host<->device copies via the GPU copy engines, and
+``cudaMemcpyPeer`` within a node (§III-H).
+"""
+
+from repro.cuda.pointer import DevicePtr, P2PToken, CU_POINTER_ATTRIBUTE_P2P_TOKENS
+from repro.cuda.runtime import CudaContext, CudaParams
+from repro.cuda.stream import CudaStream
+
+__all__ = [
+    "DevicePtr",
+    "P2PToken",
+    "CU_POINTER_ATTRIBUTE_P2P_TOKENS",
+    "CudaContext",
+    "CudaParams",
+    "CudaStream",
+]

@@ -1,0 +1,47 @@
+"""Device pointers and pointer attributes.
+
+``DevicePtr`` plays the role of a CUDA device pointer under Unified
+Virtual Addressing: it knows which GPU it belongs to and where.  The P2P
+token (``CU_POINTER_ATTRIBUTE_P2P_TOKENS``) is the capability the P2P
+driver demands before pinning GPU pages into the PCIe space (§IV-A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CudaError
+from repro.hw.gpu import GPU
+
+#: The attribute name used with :meth:`CudaContext.cu_pointer_get_attribute`.
+CU_POINTER_ATTRIBUTE_P2P_TOKENS = "CU_POINTER_ATTRIBUTE_P2P_TOKENS"
+
+
+@dataclass(frozen=True)
+class DevicePtr:
+    """A device-memory pointer: GPU plus offset, with allocation bounds."""
+
+    gpu: GPU
+    offset: int
+    nbytes: int
+
+    def __add__(self, delta: int) -> "DevicePtr":
+        if delta < 0 or delta > self.nbytes:
+            raise CudaError("pointer arithmetic outside the allocation")
+        return DevicePtr(self.gpu, self.offset + delta, self.nbytes - delta)
+
+    def check_span(self, nbytes: int) -> None:
+        """Validate an access of ``nbytes`` starting at this pointer."""
+        if nbytes < 0 or nbytes > self.nbytes:
+            raise CudaError(
+                f"access of {nbytes} bytes overruns allocation of "
+                f"{self.nbytes} bytes on {self.gpu.name}")
+
+
+@dataclass(frozen=True)
+class P2PToken:
+    """Access token for GPUDirect RDMA pinning (opaque to user code)."""
+
+    gpu_name: str
+    offset: int
+    nbytes: int

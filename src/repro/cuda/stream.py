@@ -1,0 +1,59 @@
+"""CUDA streams: in-order asynchronous operation queues.
+
+A stream executes its operations strictly in order while the host
+process continues — the structure CUDA applications use to overlap
+copies with kernels (and what a pipelined D2H/IB/H2D path is built
+from).  Operations are generator factories; each runs as an engine
+process when its turn comes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import CudaError
+from repro.sim.core import Engine, Signal
+from repro.sim.queues import Latch, Store
+
+
+class CudaStream:
+    """One in-order asynchronous work queue."""
+
+    def __init__(self, engine: Engine, name: str = "stream"):
+        self.engine = engine
+        self.name = name
+        self._ops = Store(engine, name=f"{name}.ops")
+        self._pending = Latch(engine, name=f"{name}.pending")
+        self.ops_completed = 0
+        engine.process(self._worker(), name=f"{name}.worker")
+
+    def enqueue(self, op: Callable[[], object],
+                label: str = "op") -> Signal:
+        """Queue an operation; returns a signal fired at its completion.
+
+        ``op`` is a zero-argument callable returning a generator (the
+        operation body), invoked when the stream reaches it.
+        """
+        done = self.engine.signal(f"{self.name}.{label}")
+        self._pending.up()
+        self._ops.put((op, done))
+        return done
+
+    def _worker(self):
+        while True:
+            op, done = yield self._ops.get()
+            result = yield self.engine.process(op(), name=f"{self.name}.op")
+            self.ops_completed += 1
+            self._pending.down()
+            done.fire(result)
+
+    def synchronize(self):
+        """Process: wait until every operation enqueued so far finished
+        (cudaStreamSynchronize semantics)."""
+        if self._pending.count:
+            yield self._pending.wait_zero()
+
+    @property
+    def idle(self) -> bool:
+        """True when no operations are queued or running."""
+        return self._pending.count == 0

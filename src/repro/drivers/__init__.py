@@ -1,0 +1,6 @@
+"""Kernel-driver models: the PEACH2 driver and the GPUDirect P2P driver."""
+
+from repro.drivers.peach2_driver import PEACH2Driver
+from repro.drivers.p2p_driver import P2PDriver
+
+__all__ = ["PEACH2Driver", "P2PDriver"]

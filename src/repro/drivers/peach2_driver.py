@@ -1,0 +1,186 @@
+"""The PEACH2 device driver (§IV: "the PEACH2 driver for controlling the
+PEACH2 board").
+
+Responsibilities mirror the real driver:
+
+* allocate the contiguous **DMA buffer** in host memory that §IV-A1 uses
+  as the source/destination of DMA measurements;
+* expose the chip's BARs to user space (``mmap``-style), enabling PIO
+  RDMA-put by plain stores (§III-F1);
+* build **descriptor tables** in the DMA buffer and ring the doorbell with
+  a real register-write TLP;
+* field the **completion interrupt** and timestamp it exactly where the
+  paper reads TSC ("the clock counter is checked again in the interrupt
+  handler", §IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DriverError
+from repro.hw.node import ComputeNode
+from repro.model.calibration import Calibration
+from repro.peach2.board import PEACH2Board
+from repro.peach2.descriptor import (DESCRIPTOR_BYTES, DMADescriptor,
+                                     encode_table)
+from repro.peach2.registers import (DMA_REG_DESC_ADDR, DMA_REG_DESC_COUNT,
+                                    DMA_REG_DOORBELL, REG_MSI_ADDRESS,
+                                    REG_MSI_VECTOR, RegisterFile)
+from repro.hw.cpu import MSI_REGION
+from repro.sim.core import Signal
+from repro.units import MiB
+
+#: First MSI vector used for DMA-channel completion interrupts.
+DMA_IRQ_VECTOR_BASE = 32
+
+#: Size of the driver's contiguous DMA buffer.
+DMA_BUFFER_BYTES = 16 * MiB
+
+
+class PEACH2Driver:
+    """Kernel driver instance bound to one board in one node."""
+
+    def __init__(self, node: ComputeNode, board: PEACH2Board,
+                 dma_buffer_bytes: int = DMA_BUFFER_BYTES):
+        if board.node is not node:
+            raise DriverError("board is not installed in this node")
+        self.node = node
+        self.board = board
+        self.chip = board.chip
+        self.engine = node.engine
+        self.calib: Calibration = node.params.calib
+
+        # The driver's contiguous DMA buffer (kmalloc'd at load time).
+        self.dma_buffer_addr = node.dram_alloc(dma_buffer_bytes)
+        self.dma_buffer_bytes = dma_buffer_bytes
+        # Descriptor tables live at the top of the DMA buffer, one slot
+        # per channel (256 descriptors max each).
+        self._table_slot_bytes = 256 * DESCRIPTOR_BYTES
+        tables = self.chip.params.num_dma_channels * self._table_slot_bytes
+        self._table_base = self.dma_buffer_addr + dma_buffer_bytes - tables
+        self.usable_dma_bytes = dma_buffer_bytes - tables
+
+        # Route DMA-completion MSIs to per-channel handlers.
+        self._irq_signals: Dict[int, Optional[Signal]] = {}
+        self.spurious_interrupts = 0
+        for channel in range(self.chip.params.num_dma_channels):
+            vector = DMA_IRQ_VECTOR_BASE + channel
+            node.cpu.register_irq_handler(
+                vector, self._make_irq_handler(channel))
+        self.chip.regs.poke_u64(REG_MSI_ADDRESS, MSI_REGION.base)
+        self.chip.regs.poke_u64(REG_MSI_VECTOR, DMA_IRQ_VECTOR_BASE)
+
+    # -- user-space mappings ------------------------------------------------------
+
+    def mmap_tca_window(self) -> int:
+        """Base bus address of BAR4, as mmapped into user space (§III-F1)."""
+        return self.chip.bar4.base
+
+    def mmap_registers(self) -> int:
+        """Base bus address of BAR0 (privileged tools only)."""
+        return self.chip.bar0.base
+
+    def dma_buffer(self, offset: int = 0) -> int:
+        """Bus address of a byte within the driver's DMA buffer."""
+        if offset < 0 or offset >= self.usable_dma_bytes:
+            raise DriverError(f"DMA-buffer offset {offset:#x} out of range")
+        return self.dma_buffer_addr + offset
+
+    # -- buffer access (host software touching its own DRAM) ------------------------
+
+    def fill_dma_buffer(self, offset: int, data: np.ndarray) -> None:
+        """CPU writes test data into the DMA buffer."""
+        self.node.dram.cpu_write(self.dma_buffer(offset),
+                                 np.asarray(data, dtype=np.uint8))
+
+    def read_dma_buffer(self, offset: int, nbytes: int) -> np.ndarray:
+        """CPU reads back from the DMA buffer."""
+        return self.node.dram.cpu_read(self.dma_buffer(offset), nbytes)
+
+    # -- DMA chain control -------------------------------------------------------------
+
+    def write_chain(self, channel: int,
+                    descriptors: Sequence[DMADescriptor]) -> int:
+        """Write a descriptor table for ``channel`` into the DMA buffer.
+
+        Returns the table's bus address.  Table stores are plain cached
+        writes by the CPU; they happen before the measurement window.
+        """
+        if len(descriptors) > 255:
+            raise DriverError("a chain holds at most 255 descriptors "
+                              "(the paper's maximum burst)")
+        table = encode_table(descriptors)
+        addr = self._table_base + channel * self._table_slot_bytes
+        self.node.dram.cpu_write(addr, table)
+        self.chip.regs.poke_u64(
+            RegisterFile.dma_offset(channel, DMA_REG_DESC_ADDR), addr)
+        self.chip.regs.poke_u64(
+            RegisterFile.dma_offset(channel, DMA_REG_DESC_COUNT),
+            len(descriptors))
+        return addr
+
+    def ring_doorbell(self, channel: int) -> Signal:
+        """Start the chain with a real PIO store to the doorbell register.
+
+        Returns a signal that fires *in the interrupt handler* (after the
+        kernel's IRQ-entry cost), with the completion TSC as its value —
+        the paper's measurement endpoint.
+        """
+        if self._irq_signals.get(channel) is not None:
+            raise DriverError(f"channel {channel} already has a chain pending")
+        done = self.engine.signal(f"{self.chip.name}.irq{channel}")
+        self._irq_signals[channel] = done
+        doorbell = self.chip.bar0.base + RegisterFile.dma_offset(
+            channel, DMA_REG_DOORBELL)
+        self.node.cpu.store_u32(doorbell, 1)
+        return done
+
+    def run_chain(self, channel: int,
+                  descriptors: Sequence[DMADescriptor]):
+        """Process: program + doorbell + wait for the completion IRQ.
+
+        Yields through the whole operation and returns the elapsed
+        picoseconds from doorbell store to interrupt handler (the TSC
+        difference of §IV-A).
+        """
+        self.write_chain(channel, descriptors)
+        start_tsc = self.node.cpu.read_tsc()
+        done = self.ring_doorbell(channel)
+        end_tsc = yield done
+        return end_tsc - start_tsc
+
+    def _make_irq_handler(self, channel: int):
+        def handler(_vector: int) -> None:
+            # Kernel IRQ entry, then the driver's handler reads TSC.
+            self.engine.after(self.calib.irq_handler_entry_ps,
+                              self._complete_irq, channel)
+
+        return handler
+
+    def _complete_irq(self, channel: int) -> None:
+        signal = self._irq_signals.get(channel)
+        if signal is None:
+            # A chain started without ring_doorbell() (e.g. a register
+            # poke by diagnostics); acknowledge and count it.
+            self.spurious_interrupts += 1
+            return
+        self._irq_signals[channel] = None
+        signal.fire(self.node.cpu.read_tsc())
+
+    # -- polling (used by the PIO latency experiment, §IV-B1) ---------------------------
+
+    def poll_dma_buffer_u32(self, offset: int, expect: int):
+        """Process: spin-read a DMA-buffer word until it equals ``expect``.
+
+        Returns the TSC at observation.  Poll granularity is the driver's
+        load loop interval.
+        """
+        address = self.dma_buffer(offset)
+        while True:
+            word = self.node.dram.cpu_read(address, 4)
+            if int.from_bytes(word.tobytes(), "little") == expect:
+                return self.node.cpu.read_tsc()
+            yield self.calib.driver_poll_interval_ps

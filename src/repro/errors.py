@@ -1,0 +1,47 @@
+"""Exception hierarchy for the TCA/PEACH2 reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event kernel."""
+
+
+class PCIeError(ReproError):
+    """Base class for PCIe substrate errors."""
+
+
+class AddressError(PCIeError):
+    """An address fell outside every mapped region (PCIe Unsupported Request)."""
+
+
+class LinkError(PCIeError):
+    """A link was used while down, or trained with incompatible port roles."""
+
+
+class ConfigError(ReproError):
+    """Invalid static configuration (topology, registers, BIOS limits...)."""
+
+
+class BIOSError(ConfigError):
+    """The simulated BIOS could not assign a requested BAR.
+
+    The paper notes (footnote 2) that only a few motherboards can assign
+    PEACH2's 512-Gbyte BAR; boards whose BIOS cannot do so fail enumeration.
+    """
+
+
+class DMAError(ReproError):
+    """DMA controller misuse (bad descriptor, engine busy, ...)."""
+
+
+class CudaError(ReproError):
+    """CUDA-like runtime errors (invalid device pointer, P2P not enabled...)."""
+
+
+class DriverError(ReproError):
+    """Kernel-driver-level errors (mmap without BAR, unpinned page access...)."""

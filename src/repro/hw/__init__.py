@@ -1,0 +1,21 @@
+"""Node hardware models: CPU, memories, GPUs, BIOS, node assembly."""
+
+from repro.hw.memory import BackingStore, HostMemory, MemoryParams
+from repro.hw.cpu import CPU
+from repro.hw.gpu import GPU, GPUParams
+from repro.hw.bios import BIOS, Motherboard, MOTHERBOARDS
+from repro.hw.node import ComputeNode, NodeParams
+
+__all__ = [
+    "BackingStore",
+    "HostMemory",
+    "MemoryParams",
+    "CPU",
+    "GPU",
+    "GPUParams",
+    "BIOS",
+    "Motherboard",
+    "MOTHERBOARDS",
+    "ComputeNode",
+    "NodeParams",
+]

@@ -1,0 +1,11 @@
+"""Model constants: calibration anchors, theory formulas, spec tables."""
+
+from repro.model.calibration import CALIB, Calibration
+from repro.model.theory import pcie_effective_rate_gbytes, theoretical_peak_gen2_x8
+
+__all__ = [
+    "CALIB",
+    "Calibration",
+    "pcie_effective_rate_gbytes",
+    "theoretical_peak_gen2_x8",
+]

@@ -1,0 +1,43 @@
+"""Closed-form performance bounds from the paper.
+
+Eq. (1) of the paper:
+
+    4 Gbytes/sec * 256 / (256 + 16 + 2 + 4 + 1 + 1) = 3.66 Gbytes/sec
+
+i.e. the payload ceiling of a PCIe Gen2 x8 link with a 256-byte Max
+Payload Size, once per-packet framing is accounted for.
+"""
+
+from __future__ import annotations
+
+from repro.pcie.gen import PCIeGen, link_bytes_per_s
+from repro.pcie.tlp import TLP_OVERHEAD_BYTES
+from repro.units import GB
+
+
+def pcie_effective_rate_gbytes(gen: PCIeGen, lanes: int,
+                               mps_bytes: int = 256) -> float:
+    """Payload-rate ceiling (Gbytes/s) for a link at a given MPS (Eq. 1)."""
+    raw = link_bytes_per_s(gen, lanes)
+    efficiency = mps_bytes / (mps_bytes + TLP_OVERHEAD_BYTES)
+    return raw * efficiency / GB
+
+
+def theoretical_peak_gen2_x8(mps_bytes: int = 256) -> float:
+    """The paper's own number: 3.66 Gbytes/s for Gen2 x8 at MPS 256."""
+    return pcie_effective_rate_gbytes(PCIeGen.GEN2, 8, mps_bytes)
+
+
+def latency_bandwidth_bound_gbytes(outstanding: int, chunk_bytes: int,
+                                   round_trip_ps: int) -> float:
+    """Read-throughput ceiling from the latency-bandwidth product.
+
+    A requester that keeps at most ``outstanding`` reads of ``chunk_bytes``
+    in flight against a completer with ``round_trip_ps`` of latency can
+    never exceed ``outstanding * chunk / RTT`` — this is what caps DMA
+    reads from GPU memory at ~830 Mbytes/s (§IV-A2).
+    """
+    if round_trip_ps <= 0:
+        raise ValueError("round trip must be positive")
+    bytes_per_ps = outstanding * chunk_bytes / round_trip_ps
+    return bytes_per_ps * 1e12 / GB

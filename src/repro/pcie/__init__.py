@@ -1,0 +1,47 @@
+"""PCI Express substrate: links, TLPs, switches, address spaces.
+
+This package models PCIe at the Transaction Layer Packet (TLP) level with
+the exact per-packet framing overhead the paper's Eq. (1) uses:
+
+    16 B TLP header + 2 B DLL sequence + 4 B LCRC + 1 B start + 1 B stop
+
+per payload of at most the Max Payload Size (256 B on the evaluated
+platform).  Links are full duplex, store-and-forward per hop, with
+credit-based backpressure; read requests are answered by completions with
+data, subject to the completer's service latency and outstanding-request
+limit — which is what produces the paper's asymmetric read/write curves.
+"""
+
+from repro.pcie.gen import PCIeGen, link_bytes_per_ps
+from repro.pcie.tlp import TLP, TLPKind, tlp_wire_bytes, TLP_OVERHEAD_BYTES
+from repro.pcie.packetizer import split_transfer, split_read_requests
+from repro.pcie.address import AddressSpace, BAR, Region
+from repro.pcie.device import Device, DeviceId
+from repro.pcie.link import LinkParams, PCIeLink
+from repro.pcie.port import Port, PortRole
+from repro.pcie.switch import PCIeSwitch, SwitchParams
+from repro.pcie.qpi import QPIBridge, QPIParams
+
+__all__ = [
+    "PCIeGen",
+    "link_bytes_per_ps",
+    "TLP",
+    "TLPKind",
+    "tlp_wire_bytes",
+    "TLP_OVERHEAD_BYTES",
+    "split_transfer",
+    "split_read_requests",
+    "AddressSpace",
+    "BAR",
+    "Region",
+    "Device",
+    "DeviceId",
+    "LinkParams",
+    "PCIeLink",
+    "Port",
+    "PortRole",
+    "PCIeSwitch",
+    "SwitchParams",
+    "QPIBridge",
+    "QPIParams",
+]

@@ -1,0 +1,104 @@
+"""Device base class and requester-ID/tag bookkeeping.
+
+Every fabric component (memory controller, GPU endpoint, PEACH2 chip,
+switch, IB HCA) is a :class:`Device`: it owns ports, consumes packets from
+their ingress queues, and may issue read requests whose completions are
+matched back by ``(requester_id, tag)`` exactly like on real PCIe.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import PCIeError, SimulationError
+from repro.pcie.tlp import TLP, TLPKind
+from repro.sim.core import Engine, Signal
+
+DeviceId = int
+
+_device_ids: Iterator[int] = itertools.count(1)
+
+
+def allocate_device_id() -> DeviceId:
+    """Globally unique requester/completer ID for a new device."""
+    return next(_device_ids)
+
+
+class Device:
+    """Base class: owns ports and handles the packets they deliver.
+
+    Subclasses implement :meth:`handle_tlp`.  The port machinery calls it
+    once per ingested packet, *after* the packet has cleared the ingress
+    queue (so queue backpressure is already applied).
+    """
+
+    def __init__(self, engine: Engine, name: str):
+        self.engine = engine
+        self.name = name
+        self.device_id: DeviceId = allocate_device_id()
+
+    def handle_tlp(self, port: "Port", tlp: TLP):  # pragma: no cover - abstract
+        """Consume one packet delivered on ``port``.
+
+        May return a generator to be run as a process (for multi-step
+        handling), or None for instantaneous handling.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r}, id={self.device_id})"
+
+
+class TagPool:
+    """Outstanding-read tag allocator and completion matcher for one device.
+
+    ``issue`` registers a pending read and returns the tag plus a signal
+    that fires with the reassembled data once *all* completion bytes have
+    arrived (a single MRd may legally be answered by several CplDs).
+    """
+
+    MAX_TAGS = 256  # 8-bit PCIe tag field
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._next = 0
+        self._pending: Dict[int, Tuple[Signal, bytearray, int]] = {}
+
+    @property
+    def outstanding(self) -> int:
+        """Number of reads currently awaiting completions."""
+        return len(self._pending)
+
+    def issue(self, expected_bytes: int) -> Tuple[int, Signal]:
+        """Allocate a tag for a read expecting ``expected_bytes`` back."""
+        if len(self._pending) >= self.MAX_TAGS:
+            raise PCIeError(f"{self.name}: tag space exhausted")
+        for _ in range(self.MAX_TAGS):
+            tag = self._next
+            self._next = (self._next + 1) % self.MAX_TAGS
+            if tag not in self._pending:
+                break
+        else:  # pragma: no cover - guarded by the check above
+            raise PCIeError(f"{self.name}: no free tag")
+        done = self.engine.signal(f"{self.name}.read[{tag}]")
+        self._pending[tag] = (done, bytearray(), expected_bytes)
+        return tag, done
+
+    def complete(self, tlp: TLP) -> None:
+        """Feed a CplD back; fires the signal when the read is whole."""
+        if tlp.kind is not TLPKind.CPLD:
+            raise PCIeError(f"{self.name}: not a completion: {tlp}")
+        entry = self._pending.get(tlp.tag)
+        if entry is None:
+            raise PCIeError(f"{self.name}: completion for unknown tag {tlp.tag}")
+        done, buf, expected = entry
+        buf.extend(tlp.payload.tobytes())
+        if len(buf) > expected:
+            raise PCIeError(
+                f"{self.name}: tag {tlp.tag} over-completed "
+                f"({len(buf)} > {expected} bytes)")
+        if len(buf) == expected:
+            del self._pending[tlp.tag]
+            done.fire(bytes(buf))

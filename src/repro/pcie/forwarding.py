@@ -1,0 +1,95 @@
+"""Bounded egress queues: pipelined forwarding with real backpressure.
+
+Every store-and-forward element (switch, PEACH2 crossbar, QPI/NTB bridge)
+forwards packets with a *pipelined* latency — a packet takes
+``forward_latency`` to traverse, but a new one can enter every
+``issue_interval``.  The egress stage here preserves that timing while
+staying **bounded**: when the downstream link (whose transmit queue is
+also bounded) stops draining — a QPI-throttled peer, a busy completer —
+the egress queue fills, the ingress handler blocks on ``submit``, the
+ingress buffer fills, link credits run out, and the stall propagates all
+the way back to the traffic source, exactly like PCIe flow control.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.pcie.port import Port
+from repro.pcie.tlp import TLP
+from repro.sim.core import Engine, Signal
+from repro.sim.queues import Store
+
+
+class EgressQueue:
+    """Latency-preserving, bounded queue in front of one output port.
+
+    For ring directions the queue also implements **bubble flow control**
+    (Carrión et al.): packets *injected into* the ring (from the host or
+    the DMA engine) may only enqueue while at least ``bubble`` slots stay
+    free, whereas ring *transit* packets may use every slot.  Transit
+    therefore never loses the free "hole" it needs to keep rotating, so a
+    ring of bounded queues cannot deadlock under cyclic saturation — the
+    situation an all-nodes-shift workload creates (E19).
+    """
+
+    BUBBLE_SLOTS = 2
+
+    def __init__(self, engine: Engine, port: Port, residual_latency_ps: int,
+                 capacity: int = 8, name: str = ""):
+        self.engine = engine
+        self.port = port
+        self.residual_latency_ps = max(0, residual_latency_ps)
+        self.name = name or f"{port.name}.egress"
+        self.store = Store(engine, capacity=capacity, name=self.name)
+        self.tlps_emitted = 0
+        self.injections_held = 0
+        self._injection_waiters = []  # (signal, tlp) FIFO
+        engine.process(self._emitter(), name=f"{self.name}.emit")
+
+    def submit(self, tlp: TLP) -> Signal:
+        """Hand a transit/ejection packet to the egress stage.
+
+        The returned signal fires when the packet is *accepted* (queued);
+        a full queue delays it — that is the backpressure edge.
+        """
+        return self.store.put((self.engine.now_ps, tlp))
+
+    def submit_injection(self, tlp: TLP) -> Signal:
+        """Inject a new packet into a ring direction (bubble rule).
+
+        Enqueues only while ``BUBBLE_SLOTS`` slots remain free; otherwise
+        the injection waits for transit to drain — ring packets always
+        keep a circulating hole.
+        """
+        accepted = self.engine.signal(f"{self.name}.inject")
+        if not self._injection_waiters and self._has_bubble():
+            self.store.put((self.engine.now_ps, tlp))
+            accepted.fire()
+        else:
+            self.injections_held += 1
+            self._injection_waiters.append((accepted, tlp))
+        return accepted
+
+    def _has_bubble(self) -> bool:
+        free = self.store.free_slots
+        return free is None or free >= self.BUBBLE_SLOTS
+
+    def _admit_injections(self) -> None:
+        while self._injection_waiters and self._has_bubble():
+            accepted, tlp = self._injection_waiters.pop(0)
+            self.store.put((self.engine.now_ps, tlp))
+            accepted.fire()
+
+    def _emitter(self):
+        while True:
+            enqueued_ps, tlp = yield self.store.get()
+            self._admit_injections()
+            # Let the pipeline latency elapse relative to ingress time.
+            target = enqueued_ps + self.residual_latency_ps
+            if target > self.engine.now_ps:
+                yield target - self.engine.now_ps
+            accepted = self.port.send(tlp)
+            if not accepted.fired:
+                yield accepted
+            self.tlps_emitted += 1

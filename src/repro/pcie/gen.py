@@ -1,0 +1,51 @@
+"""PCIe generations: signalling rates and line encodings.
+
+The paper's links are Gen2 x8: 5 GT/s per lane with 8b/10b encoding, i.e.
+500 Mbytes/s of post-encoding bandwidth per lane and 4 Gbytes/s for eight
+lanes — the "4 Gbytes/sec" figure Eq. (1) starts from.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigError
+from repro.units import PS_PER_S
+
+
+class PCIeGen(enum.Enum):
+    """PCIe generation; value is (GT/s per lane, encoding num, encoding den)."""
+
+    GEN1 = (2.5, 8, 10)
+    GEN2 = (5.0, 8, 10)
+    GEN3 = (8.0, 128, 130)
+
+    @property
+    def gigatransfers_per_s(self) -> float:
+        """Raw signalling rate per lane in GT/s."""
+        return self.value[0]
+
+    @property
+    def encoding_efficiency(self) -> float:
+        """Fraction of raw bits that carry data (8b/10b or 128b/130b)."""
+        return self.value[1] / self.value[2]
+
+    @property
+    def bytes_per_s_per_lane(self) -> float:
+        """Post-encoding data rate of a single lane, bytes/second."""
+        return self.gigatransfers_per_s * 1e9 * self.encoding_efficiency / 8.0
+
+
+VALID_LANE_COUNTS = (1, 2, 4, 8, 12, 16, 32)
+
+
+def link_bytes_per_s(gen: PCIeGen, lanes: int) -> float:
+    """Post-encoding link data rate in bytes/second."""
+    if lanes not in VALID_LANE_COUNTS:
+        raise ConfigError(f"invalid PCIe lane count x{lanes}")
+    return gen.bytes_per_s_per_lane * lanes
+
+
+def link_bytes_per_ps(gen: PCIeGen, lanes: int) -> float:
+    """Post-encoding link data rate in bytes/picosecond (simulator unit)."""
+    return link_bytes_per_s(gen, lanes) / PS_PER_S

@@ -1,0 +1,138 @@
+"""Full-duplex PCIe links with serialization, latency and credit flow.
+
+Each direction of a link is an independent transmitter: packets serialize
+one after another at the post-encoding link rate (so a 256-B-payload TLP
+occupies the wire for its full 280-B framed footprint), then arrive at the
+far port a fixed ``latency_ps`` later (PHY + propagation, store-and-forward
+at the receiver).  A credit pool the size of the receiver's ingress buffer
+provides backpressure: when the far device stops draining, the transmitter
+stalls — exactly how posted-write flow control throttles a slow sink such
+as the QPI bridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import LinkError
+from repro.pcie.gen import PCIeGen, link_bytes_per_ps
+from repro.pcie.port import Port, PortRole
+from repro.pcie.tlp import TLP
+from repro.sim.core import Engine, Signal
+from repro.sim.queues import Resource, Store
+from repro.units import transfer_ps
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Static characteristics of one physical link.
+
+    ``latency_ps`` is the one-way packet latency beyond wire serialization
+    (transmitter/receiver PHY plus propagation; larger for external cables
+    than for on-board traces).
+    """
+
+    gen: PCIeGen = PCIeGen.GEN2
+    lanes: int = 8
+    latency_ps: int = 120_000  # 120 ns default; calibrated values in model/
+    rx_credits: int = 32
+    #: Transmit-queue depth; bounded so that a stalled receiver
+    #: backpressures the sender instead of buffering unboundedly.
+    tx_queue_tlps: int = 4
+
+    @property
+    def bytes_per_ps(self) -> float:
+        """Post-encoding data rate."""
+        return link_bytes_per_ps(self.gen, self.lanes)
+
+
+class _Direction:
+    """One simplex half of a link: tx queue, wire, credits, delivery."""
+
+    def __init__(self, engine: Engine, name: str, source: Port, sink: Port,
+                 params: LinkParams):
+        self.engine = engine
+        self.name = name
+        self.source = source
+        self.sink = sink
+        self.params = params
+        self.tx = Store(engine, capacity=params.tx_queue_tlps,
+                        name=f"{name}.tx")
+        # Credits mirror the *sink's* actual ingress buffer so the
+        # guaranteed-space invariant in _deliver holds.
+        credit_count = sink.ingress.capacity or params.rx_credits
+        self.credits = Resource(engine, credit_count, name=f"{name}.fc")
+        self.bytes_carried = 0
+        self.tlps_carried = 0
+        engine.process(self._transmitter(), name=f"{name}.xmit")
+        # Return a credit whenever the sink device drains one packet.
+        sink.ingress_drained = self._on_drained
+
+    def _on_drained(self) -> None:
+        self.credits.release()
+
+    def _transmitter(self):
+        bytes_per_ps = self.params.bytes_per_ps
+        while True:
+            tlp = yield self.tx.get()
+            yield self.credits.acquire()
+            yield transfer_ps(tlp.wire_bytes, bytes_per_ps)
+            self.bytes_carried += tlp.wire_bytes
+            self.tlps_carried += 1
+            self.engine.after(self.params.latency_ps, self._deliver, tlp)
+
+    def _deliver(self, tlp: TLP) -> None:
+        # Space is guaranteed: a credit is held until the sink drains.
+        if not self.sink.ingress.try_put(tlp):  # pragma: no cover - invariant
+            raise LinkError(f"{self.name}: rx overflow despite credits")
+
+
+class PCIeLink:
+    """A trained link between an RC-facing and an EP-facing port."""
+
+    def __init__(self, engine: Engine, port_a: Port, port_b: Port,
+                 params: Optional[LinkParams] = None, name: str = ""):
+        params = params or LinkParams()
+        if not port_a.role.can_train_with(port_b.role):
+            raise LinkError(
+                f"link {name!r}: cannot train {port_a.name}({port_a.role.value})"
+                f" with {port_b.name}({port_b.role.value})")
+        self.engine = engine
+        self.name = name or f"{port_a.name}<->{port_b.name}"
+        self.params = params
+        self.up = True
+        self._dir_ab = _Direction(engine, f"{self.name}:a->b", port_a, port_b,
+                                  params)
+        self._dir_ba = _Direction(engine, f"{self.name}:b->a", port_b, port_a,
+                                  params)
+        self._by_source = {id(port_a): self._dir_ab, id(port_b): self._dir_ba}
+        port_a.attach(self)
+        port_b.attach(self)
+
+    def transmit(self, source: Port, tlp: TLP) -> Signal:
+        """Queue ``tlp`` for the direction whose transmitter is ``source``."""
+        if not self.up:
+            raise LinkError(f"link {self.name} is down")
+        direction = self._by_source.get(id(source))
+        if direction is None:
+            raise LinkError(f"{source.name} is not an end of link {self.name}")
+        return direction.tx.put(tlp)
+
+    def take_down(self) -> None:
+        """Simulate unplugging the external cable."""
+        self.up = False
+
+    def bring_up(self) -> None:
+        """Re-train the link after :meth:`take_down`."""
+        self.up = True
+
+    @property
+    def bytes_carried(self) -> int:
+        """Total framed bytes carried in both directions."""
+        return self._dir_ab.bytes_carried + self._dir_ba.bytes_carried
+
+    @property
+    def tlps_carried(self) -> int:
+        """Total packets carried in both directions."""
+        return self._dir_ab.tlps_carried + self._dir_ba.tlps_carried

@@ -1,0 +1,32 @@
+"""PEACH2: the PCI Express Adaptive Communication Hub, version 2.
+
+The chip at the heart of the TCA architecture (§III): four PCIe Gen2 x8
+ports (N to the host, E/W forming a ring, S coupling two rings), a static
+address-range router, a chaining DMA controller, internal packet memory,
+and a NIOS management controller.
+"""
+
+from repro.peach2.registers import RegisterFile, RouteEntry, PortCode
+from repro.peach2.descriptor import (DMADescriptor, DescriptorFlags,
+                                     DESCRIPTOR_BYTES, encode_table,
+                                     decode_descriptor)
+from repro.peach2.chip import PEACH2Chip, PEACH2Params
+from repro.peach2.board import PEACH2Board
+from repro.peach2.dma import DMAController
+from repro.peach2.firmware import NIOSFirmware
+
+__all__ = [
+    "RegisterFile",
+    "RouteEntry",
+    "PortCode",
+    "DMADescriptor",
+    "DescriptorFlags",
+    "DESCRIPTOR_BYTES",
+    "encode_table",
+    "decode_descriptor",
+    "PEACH2Chip",
+    "PEACH2Params",
+    "PEACH2Board",
+    "DMAController",
+    "NIOSFirmware",
+]

@@ -1,0 +1,98 @@
+"""DMA descriptors and their in-memory wire format.
+
+The chaining mechanism (§III-F2) registers "multiple DMA requests as the
+DMA descriptors ... in the descriptor table in advance"; the table lives
+in real (simulated) memory and the DMA controller fetches it with real
+read TLPs, which is exactly the overhead Fig. 8 measures.
+
+Each descriptor is 32 bytes:
+
+    src(8) | dst(8) | length(4) | flags(4) | reserved(8)
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import DMAError
+
+DESCRIPTOR_BYTES = 32
+_FORMAT = "<QQII8x"
+
+
+class DescriptorFlags(enum.IntFlag):
+    """Per-descriptor control bits."""
+
+    NONE = 0
+    #: Do not start this descriptor until every prior one fully completed
+    #: (used for the two-phase remote put through internal memory, §IV-B2).
+    FENCE = 1
+    #: Raise the completion interrupt after this descriptor (set on the
+    #: last descriptor of a chain).
+    INTERRUPT = 2
+
+
+@dataclass(frozen=True)
+class DMADescriptor:
+    """One DMA request: copy ``length`` bytes from ``src`` to ``dst``.
+
+    Addresses are bus addresses in the node's PCIe space; either side may
+    be the chip's internal memory (its BAR2 window).  The *current* PEACH2
+    DMAC requires the internal memory to be one side of every transfer
+    (§IV-B2); the pipelined next-generation DMAC lifts that.
+    """
+
+    src: int
+    dst: int
+    length: int
+    flags: DescriptorFlags = DescriptorFlags.NONE
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise DMAError(f"descriptor length must be positive: {self.length}")
+        if self.src < 0 or self.dst < 0:
+            raise DMAError("descriptor addresses must be non-negative")
+
+    def encode(self) -> bytes:
+        """Pack to the 32-byte wire format."""
+        return struct.pack(_FORMAT, self.src, self.dst, self.length,
+                           int(self.flags))
+
+
+def decode_descriptor(raw: bytes) -> DMADescriptor:
+    """Unpack one 32-byte descriptor."""
+    if len(raw) != DESCRIPTOR_BYTES:
+        raise DMAError(f"descriptor must be {DESCRIPTOR_BYTES} bytes")
+    src, dst, length, flags = struct.unpack(_FORMAT, raw)
+    return DMADescriptor(src, dst, length, DescriptorFlags(flags))
+
+
+def encode_table(descriptors: Sequence[DMADescriptor]) -> np.ndarray:
+    """Pack a chain into the byte image the driver writes to memory.
+
+    The INTERRUPT flag is set on the final descriptor automatically, as
+    the PEACH2 driver does when it builds a chain.
+    """
+    if not descriptors:
+        raise DMAError("empty descriptor chain")
+    blob = bytearray()
+    last = len(descriptors) - 1
+    for i, desc in enumerate(descriptors):
+        flags = desc.flags | (DescriptorFlags.INTERRUPT if i == last
+                              else DescriptorFlags.NONE)
+        blob += DMADescriptor(desc.src, desc.dst, desc.length, flags).encode()
+    return np.frombuffer(bytes(blob), dtype=np.uint8).copy()
+
+
+def decode_table(raw: np.ndarray, count: int) -> List[DMADescriptor]:
+    """Unpack ``count`` descriptors from a fetched table image."""
+    data = raw.tobytes()
+    if len(data) < count * DESCRIPTOR_BYTES:
+        raise DMAError("descriptor table image too short")
+    return [decode_descriptor(data[i * DESCRIPTOR_BYTES:(i + 1) * DESCRIPTOR_BYTES])
+            for i in range(count)]

@@ -1,0 +1,78 @@
+"""NIOS management firmware.
+
+The PEACH2 chip carries an Altera NIOS soft processor that "works only to
+monitor and manage PEARL, except for the packet transfer" (§III-D).  The
+model keeps per-port health/traffic state, detects cable loss, and renders
+the kind of status report an operator would read over the board's
+management interfaces (Gigabit Ethernet / RS-232C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class PortStatus:
+    """Link state and traffic counters of one port, as NIOS sees them."""
+
+    name: str
+    role: str
+    link_up: bool = False
+    tlps_routed_out: int = 0
+
+
+class NIOSFirmware:
+    """Monitor/manage controller; never touches the data path."""
+
+    def __init__(self, chip):
+        self.chip = chip
+        self.events: List[str] = []
+        self._port_status: Dict[int, PortStatus] = {}
+
+    def note_routed(self, out_port) -> None:
+        """Data-path hook: count an egress packet (free-running counter)."""
+        # NIOS reads these counters; it does not sit in the packet path.
+        status = self._status_of(out_port)
+        status.tlps_routed_out += 1
+
+    def _status_of(self, port) -> PortStatus:
+        status = self._port_status.get(id(port))
+        if status is None:
+            label = port.name.rsplit(".", 1)[-1]
+            status = PortStatus(label, port.role.value)
+            self._port_status[id(port)] = status
+        return status
+
+    def scan_links(self) -> Dict[str, bool]:
+        """Poll every port's link state; log transitions."""
+        states: Dict[str, bool] = {}
+        for port in (self.chip.port_n, self.chip.port_e, self.chip.port_w,
+                     self.chip.port_s):
+            status = self._status_of(port)
+            up = port.connected and port.link.up
+            if up != status.link_up:
+                verb = "up" if up else "DOWN"
+                self.events.append(
+                    f"[{self.chip.engine.now_ns:.0f}ns] link {status.name} {verb}")
+            status.link_up = up
+            states[status.name] = up
+        return states
+
+    def health_report(self) -> str:
+        """Operator-facing status text (as served over GbE/RS-232C)."""
+        self.scan_links()
+        regs = self.chip.regs
+        lines = [
+            f"PEACH2 {self.chip.name}: node_id={regs.node_id} "
+            f"tca_base=0x{regs.tca_base:x}",
+        ]
+        for status in self._port_status.values():
+            state = "up" if status.link_up else "down"
+            lines.append(f"  port {status.name:<2} ({status.role:<12}) "
+                         f"{state:<5} out_tlps={status.tlps_routed_out}")
+        lines.append(f"  dma chains completed: "
+                     f"{self.chip.dma.chains_completed}")
+        lines.extend(f"  event: {event}" for event in self.events[-8:])
+        return "\n".join(lines)

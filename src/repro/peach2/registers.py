@@ -1,0 +1,215 @@
+"""PEACH2 control registers (BAR0).
+
+The register file backs the §III-E routing mechanism verbatim: for each
+route entry there are *address mask*, *lower bound* and *upper bound*
+registers, and "the destination port is statically decided by checking the
+result from the AND operation with the address mask".  Port N's
+address-conversion bases (one per device block: GPU0 / GPU1 / host /
+PEACH2-internal) and the DMA channel registers live here too.
+
+Registers are real bytes in a numpy-backed page, so the host can program
+them over PIO (timed MWr TLPs) or the driver can poke them directly at
+configuration time (untimed, like writes done long before a measurement).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import GiB
+
+BAR0_SIZE = 64 * 1024
+
+# -- layout -------------------------------------------------------------------
+REG_NODE_ID = 0x000
+REG_TCA_BASE = 0x008
+REG_NODE_STRIDE = 0x010
+REG_BLOCK_SIZE = 0x018
+REG_MSI_ADDRESS = 0x020
+REG_MSI_VECTOR = 0x028
+
+ROUTE_TABLE_BASE = 0x100
+ROUTE_ENTRY_BYTES = 32          # mask(8) lower(8) upper(8) port(1) valid(1) pad
+NUM_ROUTE_ENTRIES = 8
+
+BLOCK_BASE_TABLE = 0x300        # four 8-byte local base addresses
+NUM_BLOCKS = 4
+BLOCK_GPU0, BLOCK_GPU1, BLOCK_HOST, BLOCK_INTERNAL = range(NUM_BLOCKS)
+
+DMA_CHANNEL_BASE = 0x400
+DMA_CHANNEL_STRIDE = 0x40
+NUM_DMA_CHANNELS = 4
+DMA_REG_DESC_ADDR = 0x00        # descriptor table bus address
+DMA_REG_DESC_COUNT = 0x08       # number of chained descriptors
+DMA_REG_DOORBELL = 0x10         # write starts the chain
+DMA_REG_STATUS = 0x18           # 0 idle, 1 running, 2 done
+
+# Defaults matching Fig. 4: 512-GB region split over 16 nodes, four
+# 8-GiB device blocks per node.
+DEFAULT_NODE_STRIDE = 32 * GiB
+DEFAULT_BLOCK_SIZE = 8 * GiB
+
+
+class PortCode(enum.IntEnum):
+    """Output-port encoding used in route entries."""
+
+    N = 0
+    E = 1
+    W = 2
+    S = 3
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One §III-E comparator: match ``lower <= (addr & mask) <= upper``."""
+
+    mask: int
+    lower: int
+    upper: int
+    port: PortCode
+
+    def matches(self, address: int) -> bool:
+        """The paper's AND-and-compare routing check."""
+        masked = address & self.mask
+        return self.lower <= masked <= self.upper
+
+
+class RegisterFile:
+    """BAR0 register page with typed accessors and write hooks."""
+
+    def __init__(self, name: str = "peach2.regs"):
+        self.name = name
+        self.raw = np.zeros(BAR0_SIZE, dtype=np.uint8)
+        # Chip installs hooks keyed by offset (e.g. DMA doorbells).
+        self.write_hooks: Dict[int, Callable[[int], None]] = {}
+        self.poke_u64(REG_NODE_STRIDE, DEFAULT_NODE_STRIDE)
+        self.poke_u64(REG_BLOCK_SIZE, DEFAULT_BLOCK_SIZE)
+
+    # -- raw access (both PIO-timed and driver-config paths end up here) ------
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        """Apply a register store and fire any hook at its offset."""
+        data = np.ascontiguousarray(data, dtype=np.uint8)
+        if offset < 0 or offset + len(data) > BAR0_SIZE:
+            raise ConfigError(f"{self.name}: register write outside BAR0")
+        self.raw[offset:offset + len(data)] = data
+        hook = self.write_hooks.get(offset)
+        if hook is not None:
+            value = int.from_bytes(data.tobytes()[:8], "little")
+            hook(value)
+
+    def read(self, offset: int, nbytes: int) -> np.ndarray:
+        """Read raw register bytes."""
+        if offset < 0 or offset + nbytes > BAR0_SIZE:
+            raise ConfigError(f"{self.name}: register read outside BAR0")
+        return self.raw[offset:offset + nbytes].copy()
+
+    def poke_u64(self, offset: int, value: int) -> None:
+        """Driver-configuration store of one 64-bit register (untimed)."""
+        self.write(offset, np.frombuffer(struct.pack("<Q", value),
+                                         dtype=np.uint8).copy())
+
+    def peek_u64(self, offset: int) -> int:
+        """Read one 64-bit register."""
+        return struct.unpack("<Q", self.read(offset, 8).tobytes())[0]
+
+    # -- typed views ------------------------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        """This chip's node ID within the TCA sub-cluster."""
+        return self.peek_u64(REG_NODE_ID)
+
+    @property
+    def tca_base(self) -> int:
+        """Base bus address of the 512-GB TCA window."""
+        return self.peek_u64(REG_TCA_BASE)
+
+    @property
+    def node_stride(self) -> int:
+        """Bytes of TCA window per node (Fig. 4 splits 512 GB evenly)."""
+        return self.peek_u64(REG_NODE_STRIDE)
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per device block within a node's split (Fig. 4)."""
+        return self.peek_u64(REG_BLOCK_SIZE)
+
+    def set_identity(self, node_id: int, tca_base: int,
+                     node_stride: int = DEFAULT_NODE_STRIDE,
+                     block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        """Program the chip's place in the shared TCA address map."""
+        self.poke_u64(REG_NODE_ID, node_id)
+        self.poke_u64(REG_TCA_BASE, tca_base)
+        self.poke_u64(REG_NODE_STRIDE, node_stride)
+        self.poke_u64(REG_BLOCK_SIZE, block_size)
+
+    # -- routing table ----------------------------------------------------------
+
+    def set_route(self, index: int, entry: Optional[RouteEntry]) -> None:
+        """Program (or invalidate, with None) route entry ``index``."""
+        if not 0 <= index < NUM_ROUTE_ENTRIES:
+            raise ConfigError(f"route entry {index} out of range")
+        base = ROUTE_TABLE_BASE + index * ROUTE_ENTRY_BYTES
+        if entry is None:
+            self.write(base, np.zeros(ROUTE_ENTRY_BYTES, dtype=np.uint8))
+            return
+        packed = struct.pack("<QQQBB6x", entry.mask, entry.lower, entry.upper,
+                             int(entry.port), 1)
+        self.write(base, np.frombuffer(packed, dtype=np.uint8).copy())
+
+    def routes(self) -> List[RouteEntry]:
+        """All valid route entries, in table order."""
+        out: List[RouteEntry] = []
+        for index in range(NUM_ROUTE_ENTRIES):
+            base = ROUTE_TABLE_BASE + index * ROUTE_ENTRY_BYTES
+            mask, lower, upper, port, valid = struct.unpack(
+                "<QQQBB6x", self.read(base, ROUTE_ENTRY_BYTES).tobytes())
+            if valid:
+                out.append(RouteEntry(mask, lower, upper, PortCode(port)))
+        return out
+
+    # -- port-N block translation bases ------------------------------------------
+
+    def set_block_base(self, block: int, local_base: int) -> None:
+        """Local bus address that device block ``block`` translates to."""
+        if not 0 <= block < NUM_BLOCKS:
+            raise ConfigError(f"block {block} out of range")
+        self.poke_u64(BLOCK_BASE_TABLE + block * 8, local_base)
+
+    def block_base(self, block: int) -> int:
+        """Configured local base of device block ``block``."""
+        if not 0 <= block < NUM_BLOCKS:
+            raise ConfigError(f"block {block} out of range")
+        return self.peek_u64(BLOCK_BASE_TABLE + block * 8)
+
+    # -- DMA channel registers -----------------------------------------------------
+
+    @staticmethod
+    def dma_offset(channel: int, reg: int) -> int:
+        """BAR0 offset of a DMA channel register."""
+        if not 0 <= channel < NUM_DMA_CHANNELS:
+            raise ConfigError(f"DMA channel {channel} out of range")
+        return DMA_CHANNEL_BASE + channel * DMA_CHANNEL_STRIDE + reg
+
+    def dma_desc_addr(self, channel: int) -> int:
+        """Programmed descriptor-table address of a channel."""
+        return self.peek_u64(self.dma_offset(channel, DMA_REG_DESC_ADDR))
+
+    def dma_desc_count(self, channel: int) -> int:
+        """Programmed descriptor count of a channel."""
+        return self.peek_u64(self.dma_offset(channel, DMA_REG_DESC_COUNT))
+
+    def dma_status(self, channel: int) -> int:
+        """Channel status register (0 idle, 1 running, 2 done)."""
+        return self.peek_u64(self.dma_offset(channel, DMA_REG_STATUS))
+
+    def set_dma_status(self, channel: int, status: int) -> None:
+        """Update a channel's status register (chip-internal)."""
+        self.poke_u64(self.dma_offset(channel, DMA_REG_STATUS), status)

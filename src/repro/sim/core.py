@@ -1,0 +1,295 @@
+"""Discrete-event engine, signals and coroutine processes.
+
+Design notes
+------------
+* The event heap orders by ``(time_ps, sequence)``; the monotonically
+  increasing sequence number makes simultaneous events fire in the order
+  they were scheduled, which keeps runs deterministic.
+* Processes are plain generators.  They may yield:
+
+  - an ``int`` or :class:`Delay` — resume after that many picoseconds,
+  - a :class:`Signal` — resume when it fires (receiving its value),
+  - another :class:`Process` — resume when it finishes (receiving its
+    return value); exceptions raised by the child are re-raised in the
+    waiter.
+
+* There is deliberately no wall-clock anywhere: simulated time only.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.units import PS_PER_NS
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Delay:
+    """Yieldable timeout of ``duration_ps`` picoseconds."""
+
+    __slots__ = ("duration_ps",)
+
+    def __init__(self, duration_ps: int):
+        if duration_ps < 0:
+            raise SimulationError(f"negative delay: {duration_ps}")
+        self.duration_ps = int(duration_ps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Delay({self.duration_ps}ps)"
+
+
+class Signal:
+    """A one-shot event that processes can wait on.
+
+    A signal remembers that it fired, so waiting on an already-fired signal
+    resumes immediately with the stored value.  Firing twice is an error —
+    it almost always indicates a protocol bug in a hardware model.
+    """
+
+    __slots__ = ("engine", "fired", "value", "_waiters", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.fired = False
+        self.value: Any = None
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal now; waiters resume at the current time."""
+        if self.fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            self.engine.call_soon(callback, value)
+
+    def fire_after(self, delay_ps: int, value: Any = None) -> None:
+        """Schedule the signal to fire ``delay_ps`` from now."""
+        self.engine.after(delay_ps, self.fire, value)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Run ``callback(value)`` when the signal fires (or now if it has)."""
+        if self.fired:
+            self.engine.call_soon(callback, self.value)
+        else:
+            self._waiters.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.fired else "pending"
+        return f"Signal({self.name!r}, {state})"
+
+
+class Process:
+    """A running coroutine process; itself yieldable from other processes."""
+
+    __slots__ = ("engine", "generator", "name", "done", "result", "error",
+                 "_waiters")
+
+    def __init__(self, engine: "Engine", generator: ProcessGen, name: str = ""):
+        self.engine = engine
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._waiters: List[Callable[[Any], None]] = []
+        engine.call_soon(self._step, None)
+
+    # -- wiring ------------------------------------------------------------
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Run ``callback(result)`` on completion (signal-compatible API)."""
+        if self.done:
+            self.engine.call_soon(callback, self.result)
+        else:
+            self._waiters.append(callback)
+
+    def _finish(self, result: Any, error: Optional[BaseException]) -> None:
+        self.done = True
+        self.result = result
+        self.error = error
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            self.engine.call_soon(callback, result)
+        if error is not None and not waiters:
+            # Nobody is waiting; surface the failure instead of losing it.
+            raise error
+
+    def _step(self, send_value: Any, throw: Optional[BaseException] = None) -> None:
+        try:
+            if throw is not None:
+                yielded = self.generator.throw(throw)
+            else:
+                yielded = self.generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            self._finish(None, exc)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, int):
+            yielded = Delay(yielded)
+        if isinstance(yielded, Delay):
+            self.engine.after(yielded.duration_ps, self._step, None)
+        elif isinstance(yielded, Signal):
+            yielded.add_callback(self._step)
+        elif isinstance(yielded, Process):
+            child = yielded
+
+            def resume(result: Any, _child: Process = child) -> None:
+                if _child.error is not None:
+                    self._step(None, throw=_child.error)
+                else:
+                    self._step(result)
+
+            child.add_callback(resume)
+        else:
+            bad = type(yielded).__name__
+            self._step(
+                None,
+                throw=SimulationError(
+                    f"process {self.name!r} yielded unsupported {bad}"),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Engine:
+    """The event loop: an integer-picosecond heap scheduler."""
+
+    def __init__(self) -> None:
+        self._now_ps = 0
+        self._sequence = 0
+        self._heap: List[Tuple[int, int, Callable[..., None], tuple]] = []
+        self.events_processed = 0
+        #: Optional observability hook (repro.sim.trace.Tracer); hardware
+        #: models emit routing/DMA/IRQ events through it when set.
+        self.tracer = None
+
+    def trace(self, component: str, kind: str, **detail: Any) -> None:
+        """Emit a trace event if a tracer is installed (cheap when not)."""
+        if self.tracer is not None:
+            self.tracer.emit(self._now_ps, component, kind, **detail)
+
+    # -- time --------------------------------------------------------------
+
+    @property
+    def now_ps(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now_ps
+
+    @property
+    def now_ns(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now_ps / PS_PER_NS
+
+    # -- scheduling ----------------------------------------------------------
+
+    def at(self, time_ps: int, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute simulated time ``time_ps``."""
+        if time_ps < self._now_ps:
+            raise SimulationError(
+                f"cannot schedule in the past ({time_ps} < {self._now_ps})")
+        heapq.heappush(self._heap, (int(time_ps), self._sequence, callback, args))
+        self._sequence += 1
+
+    def after(self, delay_ps: int, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay_ps`` picoseconds."""
+        if delay_ps < 0:
+            raise SimulationError(f"negative delay: {delay_ps}")
+        self.at(self._now_ps + int(delay_ps), callback, *args)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at the current time, after pending events."""
+        self.at(self._now_ps, callback, *args)
+
+    # -- factories -----------------------------------------------------------
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a fresh one-shot :class:`Signal`."""
+        return Signal(self, name)
+
+    def process(self, generator: ProcessGen, name: str = "") -> Process:
+        """Start a coroutine process from a generator."""
+        return Process(self, generator, name)
+
+    # -- running ---------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process one event; return False if the heap was empty."""
+        if not self._heap:
+            return False
+        time_ps, _seq, callback, args = heapq.heappop(self._heap)
+        self._now_ps = time_ps
+        self.events_processed += 1
+        callback(*args)
+        return True
+
+    def run(self, until_ps: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run until the heap drains, ``until_ps`` passes, or ``max_events``.
+
+        Returns the simulated time (ps) when the loop stopped.
+        """
+        processed = 0
+        while self._heap:
+            if until_ps is not None and self._heap[0][0] > until_ps:
+                self._now_ps = until_ps
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        return self._now_ps
+
+    def run_process(self, generator: ProcessGen, name: str = "") -> Any:
+        """Start a process and run the engine until it completes.
+
+        This is the main entry point for "measure one transfer" experiments.
+        """
+        proc = self.process(generator, name)
+        while not proc.done:
+            if not self.step():
+                raise SimulationError(
+                    f"deadlock: process {proc.name!r} is still waiting "
+                    "but no events remain")
+        if proc.error is not None:
+            raise proc.error
+        return proc.result
+
+
+def all_of(engine: Engine, waitables: Iterable[Any]) -> Signal:
+    """Signal that fires (with a list of results) when every waitable has.
+
+    Accepts :class:`Signal` and :class:`Process` objects.
+    """
+    items = list(waitables)
+    done = engine.signal("all_of")
+    if not items:
+        done.fire([])
+        return done
+    results: List[Any] = [None] * len(items)
+    remaining = [len(items)]
+
+    def make_callback(index: int) -> Callable[[Any], None]:
+        def callback(value: Any) -> None:
+            results[index] = value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.fire(list(results))
+
+        return callback
+
+    for i, item in enumerate(items):
+        item.add_callback(make_callback(i))
+    return done

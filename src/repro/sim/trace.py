@@ -1,0 +1,58 @@
+"""Lightweight tracing and counters for simulation components.
+
+Hardware models call :meth:`Tracer.emit` at interesting moments (TLP sent,
+descriptor fetched, interrupt raised...).  Tracing is off by default and
+costs one attribute check per call site when disabled.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class TraceRecord:
+    """One trace event: time, component, event kind, free-form details."""
+
+    time_ps: int
+    component: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        items = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time_ps / 1000:12.3f}ns] {self.component}: {self.kind} {items}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects and per-kind counters."""
+
+    def __init__(self, enabled: bool = False, max_records: Optional[int] = 100_000):
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.counters: Counter = Counter()
+
+    def emit(self, time_ps: int, component: str, kind: str, **detail: Any) -> None:
+        """Record one event (no-op unless enabled, but always counts)."""
+        self.counters[kind] += 1
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            return
+        self.records.append(TraceRecord(time_ps, component, kind, detail))
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind`` seen so far."""
+        return self.counters[kind]
+
+    def clear(self) -> None:
+        """Drop all records and counters."""
+        self.records.clear()
+        self.counters.clear()
+
+    def dump(self) -> str:
+        """All records as a newline-joined string (for debugging)."""
+        return "\n".join(str(r) for r in self.records)

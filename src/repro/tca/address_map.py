@@ -1,0 +1,104 @@
+"""The Fig. 4 address map: one 512-GB window shared by the sub-cluster.
+
+"The address region is split equally as the aligned address to every node
+contained in the TCA sub-cluster. Furthermore, each split region is again
+divided into the aligned address block among two GPUs, the host, and the
+internal region of PEACH2" (§III-E).  Because everything is power-of-two
+aligned, a receiving PEACH2 decides the destination "only by comparing the
+upper bits of the destination address".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import AddressError, ConfigError
+from repro.pcie.address import Region
+from repro.peach2.registers import (BLOCK_GPU0, BLOCK_GPU1, BLOCK_HOST,
+                                    BLOCK_INTERNAL, DEFAULT_BLOCK_SIZE,
+                                    DEFAULT_NODE_STRIDE, NUM_BLOCKS)
+from repro.units import GiB
+
+BLOCK_NAMES = {BLOCK_GPU0: "gpu0", BLOCK_GPU1: "gpu1",
+               BLOCK_HOST: "host", BLOCK_INTERNAL: "peach2"}
+
+
+@dataclass(frozen=True)
+class TCAAddressMap:
+    """The shared global map: window base + per-node stride + block size."""
+
+    base: int
+    window_bytes: int = 512 * GiB
+    node_stride: int = DEFAULT_NODE_STRIDE
+    block_size: int = DEFAULT_BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.node_stride <= 0 or self.window_bytes % self.node_stride:
+            raise ConfigError("window must split evenly into node regions")
+        if self.base % self.node_stride:
+            raise ConfigError(
+                "the window base must be node-stride aligned so routing can "
+                "compare upper bits only (§III-E)")
+        if self.block_size * NUM_BLOCKS != self.node_stride:
+            raise ConfigError(
+                f"node region of {self.node_stride:#x} must hold exactly "
+                f"{NUM_BLOCKS} blocks of {self.block_size:#x}")
+
+    @property
+    def max_nodes(self) -> int:
+        """How many node slots the window holds (16 by default)."""
+        return self.window_bytes // self.node_stride
+
+    def node_region(self, node_id: int) -> Region:
+        """The [Fig. 4] split belonging to one node."""
+        self._check_node(node_id)
+        return Region(self.base + node_id * self.node_stride,
+                      self.node_stride, f"tca.node{node_id}")
+
+    def block_region(self, node_id: int, block: int) -> Region:
+        """One device block (GPU0/GPU1/host/PEACH2-internal) of a node."""
+        self._check_node(node_id)
+        self._check_block(block)
+        base = (self.base + node_id * self.node_stride
+                + block * self.block_size)
+        return Region(base, self.block_size,
+                      f"tca.node{node_id}.{BLOCK_NAMES[block]}")
+
+    def global_address(self, node_id: int, block: int, offset: int) -> int:
+        """Compose a TCA-global bus address."""
+        if offset < 0 or offset >= self.block_size:
+            raise AddressError(f"offset {offset:#x} exceeds the block size")
+        return self.block_region(node_id, block).base + offset
+
+    def decompose(self, address: int) -> Tuple[int, int, int]:
+        """(node_id, block, offset) of a TCA-global address."""
+        if not self.contains(address):
+            raise AddressError(f"0x{address:x} is outside the TCA window")
+        offset = address - self.base
+        node_id, rest = divmod(offset, self.node_stride)
+        block, block_offset = divmod(rest, self.block_size)
+        return int(node_id), int(block), int(block_offset)
+
+    def contains(self, address: int) -> bool:
+        """True if the address falls inside the TCA window."""
+        return self.base <= address < self.base + self.window_bytes
+
+    def node_mask(self) -> int:
+        """Upper-bits mask isolating the node region (for route entries)."""
+        return ~(self.node_stride - 1) & 0xFFFF_FFFF_FFFF_FFFF
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.max_nodes:
+            raise ConfigError(
+                f"node id {node_id} out of range (window holds "
+                f"{self.max_nodes} nodes)")
+
+    @staticmethod
+    def _check_block(block: int) -> None:
+        if not 0 <= block < NUM_BLOCKS:
+            raise ConfigError(f"block {block} out of range")
+
+
+__all__ = ["TCAAddressMap", "BLOCK_GPU0", "BLOCK_GPU1", "BLOCK_HOST",
+           "BLOCK_INTERNAL", "BLOCK_NAMES"]

@@ -1,0 +1,208 @@
+"""Sub-cluster assembly: nodes, boards, cables, and register programming.
+
+Builds an 8-16-node (or smaller, for tests) TCA sub-cluster:
+
+1. one :class:`~repro.hw.node.ComputeNode` per member, each with a
+   :class:`~repro.peach2.board.PEACH2Board` in a socket-0 slot;
+2. E->W cables closing the ring (and S cables pairing two rings when a
+   coupled topology is requested), matching §III-D's fixed port roles;
+3. identical BIOS enumeration everywhere, so the TCA window lands at the
+   same bus address on every node and "the address offset information for
+   each node can be commonly shared" (§III-E);
+4. per-node register programming: identity, block translation bases, and
+   the Fig. 5 comparator tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cuda.runtime import CudaContext, CudaParams
+from repro.drivers.p2p_driver import P2PDriver
+from repro.drivers.peach2_driver import PEACH2Driver
+from repro.errors import ConfigError
+from repro.hw.node import ComputeNode, NodeParams
+from repro.peach2.board import PEACH2Board
+from repro.peach2.chip import PEACH2Params
+from repro.peach2.registers import (BLOCK_GPU0, BLOCK_GPU1, BLOCK_HOST,
+                                    BLOCK_INTERNAL, NUM_ROUTE_ENTRIES,
+                                    PortCode)
+from repro.pcie.port import PortRole
+from repro.sim.core import Engine
+from repro.tca.address_map import TCAAddressMap
+from repro.tca.topology import dual_ring_route_entries, ring_route_entries
+
+RING = "ring"
+DUAL_RING = "dual-ring"
+
+
+class TCASubCluster:
+    """A running TCA sub-cluster on one simulation engine."""
+
+    def __init__(self, num_nodes: int, topology: str = RING,
+                 engine: Optional[Engine] = None,
+                 node_params: NodeParams = NodeParams(),
+                 peach2_params: PEACH2Params = PEACH2Params(),
+                 cuda_params: CudaParams = CudaParams()):
+        if num_nodes < 2:
+            raise ConfigError("a sub-cluster needs at least two nodes")
+        if topology not in (RING, DUAL_RING):
+            raise ConfigError(f"unknown topology {topology!r}")
+        if topology == DUAL_RING and num_nodes % 2:
+            raise ConfigError("a dual ring needs an even node count")
+        if num_nodes > 16:
+            raise ConfigError(
+                "the 512-GB window splits into at most 16 node regions; "
+                "the paper sizes sub-clusters at 8-16 nodes (§II-B)")
+
+        self.engine = engine or Engine()
+        self.topology = topology
+        self.nodes: List[ComputeNode] = []
+        self.boards: List[PEACH2Board] = []
+        self.drivers: List[PEACH2Driver] = []
+        self.cuda: List[CudaContext] = []
+        self.p2p = P2PDriver()
+
+        for i in range(num_nodes):
+            node = ComputeNode(self.engine, f"node{i}", node_params)
+            board = PEACH2Board(self.engine, f"node{i}.peach2", peach2_params)
+            node.install_adapter(board, lanes=8)
+            node.enumerate()
+            self.nodes.append(node)
+            self.boards.append(board)
+            self.cuda.append(CudaContext(node, cuda_params))
+
+        bases = {board.chip.bar4.base for board in self.boards}
+        if len(bases) != 1:
+            raise ConfigError("BIOS gave nodes different TCA windows; the "
+                              "shared map needs identical enumeration")
+        self.address_map = TCAAddressMap(bases.pop())
+
+        self._cable(topology)
+        self._program_registers(topology)
+        self.drivers = [PEACH2Driver(node, board)
+                        for node, board in zip(self.nodes, self.boards)]
+        # Baseline NIOS link scan, so later failures log as transitions.
+        for board in self.boards:
+            board.chip.firmware.scan_links()
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _cable(self, topology: str) -> None:
+        n = len(self.boards)
+        self._ring_cables = []  # (east_node, west_node, link)
+        if topology == RING:
+            self._rings = [list(range(n))]
+            for i in range(n):
+                j = (i + 1) % n
+                link = self.boards[i].cable_east_to(self.boards[j])
+                self._ring_cables.append((i, j, link))
+            return
+        half = n // 2
+        self._rings = [list(range(half)), list(range(half, n))]
+        for ring in self._rings:
+            size = len(ring)
+            for pos in range(size):
+                self.boards[ring[pos]].cable_east_to(
+                    self.boards[ring[(pos + 1) % size]])
+        # Complementary S-port configuration images: ring A keeps the
+        # factory EP image, ring B is reloaded as RC, then columns pair up.
+        for a, b in zip(self._rings[0], self._rings[1]):
+            self.boards[b].chip.reconfigure_port_s(PortRole.RC)
+            self.boards[a].cable_south_to(self.boards[b])
+
+    def _program_registers(self, topology: str) -> None:
+        for node_id, (node, board) in enumerate(zip(self.nodes, self.boards)):
+            regs = board.chip.regs
+            regs.set_identity(node_id, self.address_map.base,
+                              self.address_map.node_stride,
+                              self.address_map.block_size)
+            # Port-N translation bases (Fig. 4 blocks -> local addresses).
+            if len(node.gpus) > 0:
+                regs.set_block_base(BLOCK_GPU0, node.gpus[0].bar1.base)
+            if len(node.gpus) > 1:
+                regs.set_block_base(BLOCK_GPU1, node.gpus[1].bar1.base)
+            regs.set_block_base(BLOCK_HOST, 0)  # DRAM starts at bus 0
+            regs.set_block_base(BLOCK_INTERNAL, board.chip.bar2.base)
+
+            if topology == RING:
+                entries = ring_route_entries(self.address_map, node_id,
+                                             self._rings[0])
+            else:
+                entries = dual_ring_route_entries(self.address_map, node_id,
+                                                  self._rings[0],
+                                                  self._rings[1])
+            if len(entries) > NUM_ROUTE_ENTRIES:
+                raise ConfigError(
+                    f"node {node_id} needs {len(entries)} comparators but "
+                    f"the chip has {NUM_ROUTE_ENTRIES}")
+            for index in range(NUM_ROUTE_ENTRIES):
+                regs.set_route(index,
+                               entries[index] if index < len(entries) else None)
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Sub-cluster size."""
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> ComputeNode:
+        """Member node by id."""
+        return self.nodes[node_id]
+
+    def board(self, node_id: int) -> PEACH2Board:
+        """PEACH2 board of a node."""
+        return self.boards[node_id]
+
+    def driver(self, node_id: int) -> PEACH2Driver:
+        """PEACH2 driver instance of a node."""
+        return self.drivers[node_id]
+
+    def rings(self) -> List[List[int]]:
+        """Node ids of each ring, in cable order."""
+        return [list(ring) for ring in self._rings]
+
+    # -- PEARL reliability: survive a ring-cable failure ----------------------
+
+    def cut_ring_cable(self, east_node: int) -> None:
+        """Unplug the cable from ``east_node``'s E port (fault injection)."""
+        for a, b, link in self._ring_cables:
+            if a == east_node:
+                link.take_down()
+                return
+        raise ConfigError(f"no ring cable leaves node {east_node}'s E port")
+
+    def heal(self) -> List[int]:
+        """Reroute around a single failed ring cable (§III-A's PEARL
+        reliability): the ring degrades to a chain, every node's
+        comparators are reprogrammed for the surviving direction.
+
+        Uses the NIOS firmware's link scan to find the failure.  Returns
+        the surviving chain order.  Raises if more than one cable is down
+        (the ring is partitioned) or if the topology is not a single ring.
+        """
+        from repro.tca.topology import chain_route_entries
+
+        if self.topology != RING:
+            raise ConfigError("healing is implemented for single rings")
+        for board in self.boards:
+            board.chip.firmware.scan_links()
+        down = [(a, b) for a, b, link in self._ring_cables if not link.up]
+        if not down:
+            raise ConfigError("no failed cable found")
+        if len(down) > 1:
+            raise ConfigError(
+                f"{len(down)} cables down: the sub-cluster is partitioned")
+        east_node, west_node = down[0]
+        # Surviving chain runs W->E starting at the node whose W cable died.
+        n = self.num_nodes
+        chain = [(west_node + k) % n for k in range(n)]
+        for node_id in chain:
+            entries = chain_route_entries(self.address_map, node_id, chain)
+            regs = self.boards[node_id].chip.regs
+            from repro.peach2.registers import NUM_ROUTE_ENTRIES
+            for index in range(NUM_ROUTE_ENTRIES):
+                regs.set_route(index, entries[index]
+                               if index < len(entries) else None)
+        return chain

@@ -1,0 +1,123 @@
+"""Route-register generation for ring and coupled-ring topologies (Fig. 5).
+
+Given the shared address map and a node's position, these functions emit
+the §III-E comparator entries (mask / lower / upper / port) that steer
+every other node's region out of the right port.  Shortest-path routing on
+the ring; ties (the antipodal node of an even ring) break toward E.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.peach2.registers import PortCode, RouteEntry
+from repro.tca.address_map import TCAAddressMap
+
+
+def ring_hop_count(num_nodes: int, src_pos: int, dst_pos: int) -> int:
+    """Shortest-path hop count between two ring positions."""
+    east = (dst_pos - src_pos) % num_nodes
+    west = (src_pos - dst_pos) % num_nodes
+    return min(east, west)
+
+
+def _direction(num_nodes: int, src_pos: int, dst_pos: int) -> PortCode:
+    east = (dst_pos - src_pos) % num_nodes
+    west = (src_pos - dst_pos) % num_nodes
+    return PortCode.E if east <= west else PortCode.W
+
+
+def _runs(sorted_ids: Sequence[int]) -> List[Tuple[int, int]]:
+    """Collapse sorted node ids into inclusive (first, last) runs."""
+    runs: List[Tuple[int, int]] = []
+    for node_id in sorted_ids:
+        if runs and node_id == runs[-1][1] + 1:
+            runs[-1] = (runs[-1][0], node_id)
+        else:
+            runs.append((node_id, node_id))
+    return runs
+
+
+def _entries_for(address_map: TCAAddressMap, ids: Sequence[int],
+                 port: PortCode) -> List[RouteEntry]:
+    mask = address_map.node_mask()
+    entries = []
+    for first, last in _runs(sorted(ids)):
+        entries.append(RouteEntry(
+            mask=mask,
+            lower=address_map.node_region(first).base,
+            upper=address_map.node_region(last).base,
+            port=port))
+    return entries
+
+
+def ring_route_entries(address_map: TCAAddressMap, node_id: int,
+                       ring_ids: Sequence[int]) -> List[RouteEntry]:
+    """Route entries for one node of a single E/W ring.
+
+    ``ring_ids`` lists node ids in ring order: position p's East cable
+    reaches position p+1.  Entries are checked in order, so the node's own
+    region (-> port N) comes first, exactly like Fig. 5's per-node tables.
+    """
+    if node_id not in ring_ids:
+        raise ConfigError(f"node {node_id} is not on this ring")
+    if len(set(ring_ids)) != len(ring_ids):
+        raise ConfigError("duplicate node ids on the ring")
+    position = list(ring_ids).index(node_id)
+    num = len(ring_ids)
+    by_port: Dict[PortCode, List[int]] = {PortCode.E: [], PortCode.W: []}
+    for other_pos, other_id in enumerate(ring_ids):
+        if other_id == node_id:
+            continue
+        by_port[_direction(num, position, other_pos)].append(other_id)
+
+    entries = _entries_for(address_map, [node_id], PortCode.N)
+    for port in (PortCode.E, PortCode.W):
+        entries.extend(_entries_for(address_map, by_port[port], port))
+    return entries
+
+
+def chain_route_entries(address_map: TCAAddressMap, node_id: int,
+                        chain_ids: Sequence[int]) -> List[RouteEntry]:
+    """Route entries for a *chain* — a ring with one cable missing.
+
+    PEARL's reliability story (§III-A): when a ring cable fails, the
+    management plane reprograms the comparators so all traffic takes the
+    surviving direction.  ``chain_ids`` lists the nodes from the West end
+    to the East end of the surviving path.
+    """
+    if node_id not in chain_ids:
+        raise ConfigError(f"node {node_id} is not on this chain")
+    if len(set(chain_ids)) != len(chain_ids):
+        raise ConfigError("duplicate node ids on the chain")
+    position = list(chain_ids).index(node_id)
+    east_ids = [other for p, other in enumerate(chain_ids) if p > position]
+    west_ids = [other for p, other in enumerate(chain_ids) if p < position]
+    entries = _entries_for(address_map, [node_id], PortCode.N)
+    entries.extend(_entries_for(address_map, east_ids, PortCode.E))
+    entries.extend(_entries_for(address_map, west_ids, PortCode.W))
+    return entries
+
+
+def dual_ring_route_entries(address_map: TCAAddressMap, node_id: int,
+                            ring_a: Sequence[int],
+                            ring_b: Sequence[int]) -> List[RouteEntry]:
+    """Route entries for two rings coupled by the S ports (§III-D).
+
+    Every node's S port is cabled to its same-position partner on the
+    other ring.  Traffic for the other ring crosses at the source column
+    (one S hop), then rides that ring — simple, deadlock-free, and at most
+    one hop longer than optimal.
+    """
+    if node_id in ring_a:
+        mine, other = ring_a, ring_b
+    elif node_id in ring_b:
+        mine, other = ring_b, ring_a
+    else:
+        raise ConfigError(f"node {node_id} is on neither ring")
+    if len(ring_a) != len(ring_b):
+        raise ConfigError("coupled rings must have equal length")
+    entries = ring_route_entries(address_map, node_id, mine)
+    entries.extend(_entries_for(address_map, list(other), PortCode.S))
+    return entries

@@ -1,0 +1,62 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.hw.node import ComputeNode, NodeParams
+from repro.peach2.board import PEACH2Board
+from repro.sim.core import Engine
+from repro.tca.subcluster import TCASubCluster
+
+settings.register_profile(
+    "sim",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("sim")
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh discrete-event engine."""
+    return Engine()
+
+
+@pytest.fixture
+def node(engine: Engine) -> ComputeNode:
+    """An enumerated two-GPU node without adapters."""
+    n = ComputeNode(engine, "n0", NodeParams(num_gpus=2))
+    n.enumerate()
+    return n
+
+
+@pytest.fixture
+def peach2_node(engine: Engine):
+    """(node, board) with one PEACH2 installed and enumerated."""
+    n = ComputeNode(engine, "n0", NodeParams(num_gpus=2))
+    board = PEACH2Board(engine, "p2", )
+    n.install_adapter(board)
+    n.enumerate()
+    return n, board
+
+
+@pytest.fixture
+def cluster2() -> TCASubCluster:
+    """A two-node ring sub-cluster (one GPU per node)."""
+    return TCASubCluster(2, node_params=NodeParams(num_gpus=1))
+
+
+@pytest.fixture
+def cluster4() -> TCASubCluster:
+    """A four-node ring sub-cluster (two GPUs per node)."""
+    return TCASubCluster(4, node_params=NodeParams(num_gpus=2))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Seeded RNG for reproducible payloads."""
+    return np.random.default_rng(0x7CA)

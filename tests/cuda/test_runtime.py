@@ -1,0 +1,117 @@
+"""Unit tests for the CUDA-like runtime."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.pointer import CU_POINTER_ATTRIBUTE_P2P_TOKENS, DevicePtr
+from repro.cuda.runtime import CudaContext, CudaParams
+from repro.errors import CudaError
+from repro.units import us
+
+
+@pytest.fixture
+def cuda(node):
+    return CudaContext(node)
+
+
+class TestAllocation:
+    def test_cu_mem_alloc_bounds(self, cuda, node):
+        ptr = cuda.cu_mem_alloc(0, 4096)
+        assert ptr.gpu is node.gpus[0]
+        assert ptr.nbytes == 4096
+
+    def test_allocations_do_not_overlap(self, cuda):
+        a = cuda.cu_mem_alloc(0, 1000)
+        b = cuda.cu_mem_alloc(0, 1000)
+        assert b.offset >= a.offset + 1000
+
+    def test_out_of_memory(self, cuda, node):
+        size = node.gpus[0].params.memory_bytes
+        cuda.cu_mem_alloc(0, size - 4096)
+        with pytest.raises(CudaError, match="out of device memory"):
+            cuda.cu_mem_alloc(0, 2 * 4096)
+
+    def test_bad_gpu_index(self, cuda):
+        with pytest.raises(CudaError):
+            cuda.cu_mem_alloc(9, 16)
+
+    def test_pointer_arithmetic(self, cuda):
+        ptr = cuda.cu_mem_alloc(0, 100)
+        shifted = ptr + 60
+        assert shifted.offset == ptr.offset + 60
+        assert shifted.nbytes == 40
+        with pytest.raises(CudaError):
+            ptr + 101
+
+    def test_span_check(self, cuda):
+        ptr = cuda.cu_mem_alloc(0, 64)
+        ptr.check_span(64)
+        with pytest.raises(CudaError):
+            ptr.check_span(65)
+
+
+class TestTokens:
+    def test_p2p_token_carries_identity(self, cuda, node):
+        ptr = cuda.cu_mem_alloc(1, 8192)
+        token = cuda.cu_pointer_get_attribute(
+            CU_POINTER_ATTRIBUTE_P2P_TOKENS, ptr)
+        assert token.gpu_name == node.gpus[1].name
+        assert token.offset == ptr.offset and token.nbytes == 8192
+
+    def test_unknown_attribute(self, cuda):
+        ptr = cuda.cu_mem_alloc(0, 16)
+        with pytest.raises(CudaError):
+            cuda.cu_pointer_get_attribute("NOPE", ptr)
+
+
+class TestCopies:
+    def test_htod_dtoh_roundtrip(self, cuda, node, rng):
+        data = rng.integers(0, 256, 8192, dtype=np.uint8)
+        host_src = node.dram_alloc(16384)
+        host_dst = node.dram_alloc(16384)
+        node.dram.cpu_write(host_src, data)
+        ptr = cuda.cu_mem_alloc(0, 8192)
+        engine = node.engine
+        engine.run_process(cuda.memcpy_htod(ptr, host_src, 8192))
+        assert np.array_equal(cuda.download(ptr, 8192), data)
+        engine.run_process(cuda.memcpy_dtoh(host_dst, ptr, 8192))
+        engine.run()
+        assert np.array_equal(node.dram.cpu_read(host_dst, 8192), data)
+
+    def test_memcpy_pays_launch_overhead(self, node):
+        cuda = CudaContext(node, CudaParams(memcpy_overhead_ps=us(8)))
+        host = node.dram_alloc(4096)
+        ptr = cuda.cu_mem_alloc(0, 64)
+        start = node.engine.now_ps
+        node.engine.run_process(cuda.memcpy_htod(ptr, host, 64))
+        assert node.engine.now_ps - start >= us(8)
+
+    def test_memcpy_peer_within_node(self, cuda, node, rng):
+        data = rng.integers(0, 256, 4096, dtype=np.uint8)
+        src = cuda.cu_mem_alloc(0, 4096)
+        dst = cuda.cu_mem_alloc(1, 4096)
+        cuda.upload(src, data)
+        node.engine.run_process(cuda.memcpy_peer(dst, src, 4096))
+        node.engine.run()
+        assert np.array_equal(cuda.download(dst, 4096), data)
+
+    def test_memcpy_peer_same_gpu_rejected(self, cuda, node):
+        a = cuda.cu_mem_alloc(0, 64)
+        b = cuda.cu_mem_alloc(0, 64)
+
+        def run():
+            yield node.engine.process(cuda.memcpy_peer(a, b, 64))
+
+        with pytest.raises(CudaError):
+            node.engine.run_process(run())
+
+    def test_upload_download_backdoor(self, cuda, rng):
+        ptr = cuda.cu_mem_alloc(0, 256)
+        data = rng.integers(0, 256, 256, dtype=np.uint8)
+        cuda.upload(ptr, data)
+        assert np.array_equal(cuda.download(ptr, 256), data)
+
+    def test_upload_overrun_rejected(self, cuda):
+        ptr = cuda.cu_mem_alloc(0, 16)
+        with pytest.raises(CudaError):
+            cuda.upload(ptr, np.zeros(17, dtype=np.uint8))

@@ -1,0 +1,98 @@
+"""Tests for CUDA streams and async operations."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.runtime import CudaContext
+
+
+@pytest.fixture
+def cuda(node):
+    return CudaContext(node)
+
+
+def test_stream_runs_ops_in_order(cuda, node):
+    stream = cuda.create_stream("s")
+    order = []
+
+    def op(tag, delay):
+        def body():
+            yield delay
+            order.append(tag)
+        return body
+
+    stream.enqueue(op("slow", 10_000))
+    stream.enqueue(op("fast", 10))
+    node.engine.run()
+    assert order == ["slow", "fast"]  # in-order despite durations
+    assert stream.ops_completed == 2
+    assert stream.idle
+
+
+def test_async_copies_through_stream(cuda, node, rng):
+    data = rng.integers(0, 256, 4096, dtype=np.uint8)
+    host_src = node.dram_alloc(8192)
+    host_dst = node.dram_alloc(8192)
+    node.dram.cpu_write(host_src, data)
+    ptr = cuda.cu_mem_alloc(0, 4096)
+    stream = cuda.create_stream()
+    cuda.memcpy_htod_async(ptr, host_src, 4096, stream)
+    cuda.memcpy_dtoh_async(host_dst, ptr, 4096, stream)
+
+    def host():
+        yield node.engine.process(stream.synchronize())
+        return node.dram.cpu_read(host_dst, 4096)
+
+    got = node.engine.run_process(host())
+    node.engine.run()
+    assert np.array_equal(node.dram.cpu_read(host_dst, 4096), data)
+
+
+def test_kernel_async_applies_body_after_time(cuda, node):
+    stream = cuda.create_stream()
+    marker = []
+    done = cuda.launch_kernel_async(0, flops=1e6, bytes_moved=1e3,
+                                    stream=stream,
+                                    body=lambda: marker.append("ran"))
+    assert not marker  # nothing happens synchronously
+
+    def host():
+        yield done
+        return node.engine.now_ps
+
+    finished = node.engine.run_process(host())
+    assert marker == ["ran"]
+    # launch (5 us) + 1e6 flops at 1.17 TFlops (~0.85 us)
+    assert finished >= 5_000_000
+
+
+def test_two_streams_overlap(cuda, node):
+    """Independent streams proceed concurrently (total < sum)."""
+    s1, s2 = cuda.create_stream("a"), cuda.create_stream("b")
+
+    def op():
+        def body():
+            yield 1_000_000
+        return body
+
+    for _ in range(3):
+        s1.enqueue(op())
+        s2.enqueue(op())
+
+    def host():
+        yield node.engine.process(s1.synchronize())
+        yield node.engine.process(s2.synchronize())
+        return node.engine.now_ps
+
+    total = node.engine.run_process(host())
+    assert total == 3_000_000  # not 6 ms: streams ran side by side
+
+
+def test_synchronize_on_idle_stream(cuda, node):
+    stream = cuda.create_stream()
+
+    def host():
+        yield node.engine.process(stream.synchronize())
+        return True
+
+    assert node.engine.run_process(host())

@@ -1,0 +1,129 @@
+"""Integration anchors: the paper's headline numbers, asserted.
+
+These are the reproduction contract: if a refactor moves any of these
+outside its tolerance, the simulation no longer reproduces the paper.
+"""
+
+import pytest
+
+from repro.bench.harness import PAPER_BURST, SingleNodeRig, TwoNodeRig
+from repro.bench.loopback import LoopbackRig
+from repro.model.theory import theoretical_peak_gen2_x8
+from repro.units import KiB
+
+
+def measure(op, target, size, count=PAPER_BURST):
+    rig = SingleNodeRig()
+    _, bw = rig.measure(op, target, size, count)
+    return bw
+
+
+class TestLatencyAnchor:
+    def test_pio_one_way_is_782ns(self):
+        """§IV-B1: 'the transfer latency is 782 nsec'."""
+        assert LoopbackRig().pio_commit_latency_ns() == pytest.approx(
+            782.0, abs=1.0)
+
+    def test_pio_beats_infiniband_fdr_claim(self):
+        """'approximately the same or slightly less than ... InfiniBand'."""
+        assert LoopbackRig().pio_commit_latency_ns() < 1000.0
+
+
+class TestBandwidthAnchors:
+    def test_peak_write_is_93pct_of_eq1(self):
+        """§IV-A1: ~3.3 GB/s at 4 KB, ≈90 % of the 3.66 GB/s ceiling."""
+        bw = measure("write", "cpu", 4 * KiB)
+        assert bw == pytest.approx(3.3, abs=0.1)
+        assert bw / theoretical_peak_gen2_x8() > 0.88
+
+    def test_gpu_write_matches_cpu_write(self):
+        """§IV-A2: 'DMA write to the GPU memory is approximately the same
+        as that of the CPU memory'."""
+        cpu = measure("write", "cpu", 4 * KiB)
+        gpu = measure("write", "gpu", 4 * KiB)
+        assert gpu == pytest.approx(cpu, rel=0.02)
+
+    def test_gpu_read_ceiling_830mbytes(self):
+        """§IV-A2: 'the maximum DMA read performance is only 830 Mbytes/sec'."""
+        bw = measure("read", "gpu", 4 * KiB)
+        assert bw == pytest.approx(0.83, abs=0.02)
+
+    def test_write_beats_read_at_small_sizes(self):
+        """Fig. 7: 'The performance of DMA write is better than that of
+        DMA read' below the peak."""
+        for size in (64, 256, 1024):
+            assert measure("read", "cpu", size) < 0.8 * measure(
+                "write", "cpu", size)
+
+    def test_read_approximately_write_at_4k(self):
+        """Fig. 7: '... for 4 Kbyte is approximately the same'."""
+        write = measure("write", "cpu", 4 * KiB)
+        read = measure("read", "cpu", 4 * KiB)
+        assert read > 0.8 * write
+
+
+class TestChainingAnchors:
+    def test_four_requests_about_70pct(self):
+        """Fig. 9: 'DMA transfer including four requests achieves
+        approximately 70% of the maximum performance'."""
+        peak = measure("write", "cpu", 4 * KiB, 255)
+        four = measure("write", "cpu", 4 * KiB, 4)
+        assert four / peak == pytest.approx(0.70, abs=0.07)
+
+    def test_two_requests_match_8k_single(self):
+        """Fig. 9: 'the results for two or more requests are approximately
+        the same as that for 8 Kbytes or more in Figure 8'."""
+        two_4k = measure("write", "cpu", 4 * KiB, 2)
+        one_8k = measure("write", "cpu", 8 * KiB, 1)
+        assert two_4k == pytest.approx(one_8k, rel=0.05)
+
+    def test_single_dma_severely_degraded(self):
+        """Fig. 8 vs Fig. 7 at small sizes."""
+        chained = measure("write", "cpu", 1 * KiB, 255)
+        single = measure("write", "cpu", 1 * KiB, 1)
+        assert single < 0.25 * chained
+
+    def test_same_total_bytes_same_performance(self):
+        """Fig. 9's closing observation: equal transfer amounts perform
+        alike regardless of descriptor count (for >= 2 descriptors)."""
+        via_8 = measure("write", "cpu", 4 * KiB, 8)
+        via_2 = measure("write", "cpu", 16 * KiB, 2)
+        assert via_8 == pytest.approx(via_2, rel=0.10)
+
+
+class TestRemoteAnchors:
+    def test_remote_cpu_drops_at_small_sizes(self):
+        """Fig. 12: 'bandwidth to the CPU memory decreases for the small
+        data size due to the latency for transfer between PEACH2'."""
+        rig = TwoNodeRig()
+        _, remote = rig.measure_remote_write(512, "cpu")
+        local = measure("write", "cpu", 512)
+        assert remote < 0.6 * local
+
+    def test_remote_cpu_matches_local_at_4k(self):
+        """Fig. 12: 'the bandwidth at 4 Kbytes is approximately the same
+        as the bandwidth within a node'."""
+        rig = TwoNodeRig()
+        _, remote = rig.measure_remote_write(4 * KiB, "cpu")
+        assert remote == pytest.approx(measure("write", "cpu", 4 * KiB),
+                                       rel=0.05)
+
+    def test_remote_gpu_matches_local_at_all_sizes(self):
+        """Fig. 12: 'the bandwidth to the GPU memory is approximately the
+        same as the bandwidth within a node'."""
+        for size in (256, 1024, 4 * KiB):
+            rig = TwoNodeRig()
+            _, remote = rig.measure_remote_write(size, "gpu")
+            assert remote == pytest.approx(measure("write", "gpu", size),
+                                           rel=0.05)
+
+
+class TestQPIAnchor:
+    def test_cross_socket_write_few_hundred_mbytes(self):
+        """§IV-A2: 'DMA write access to the GPU on another socket over QPI
+        is severely degraded by up to several hundred Mbytes/sec'."""
+        from repro.bench.experiments import limits
+
+        results = limits()
+        assert results["gpu_write_over_qpi_gbytes"] < 0.5
+        assert results["gpu_write_same_socket_gbytes"] > 3.0

@@ -1,0 +1,92 @@
+"""Unit tests for theory formulas, spec tables and calibration sanity."""
+
+import pytest
+
+from repro.model.calibration import CALIB
+from repro.model.specs import (HA_PACS_BASE_CLUSTER, TESTBED, render_table1,
+                               render_table2)
+from repro.model.theory import (latency_bandwidth_bound_gbytes,
+                                pcie_effective_rate_gbytes,
+                                theoretical_peak_gen2_x8)
+from repro.pcie.gen import PCIeGen
+
+
+class TestTheory:
+    def test_eq1_is_3_66(self):
+        assert theoretical_peak_gen2_x8() == pytest.approx(3.66, abs=0.01)
+
+    def test_eq1_exact_formula(self):
+        # 4 GB/s * 256/280
+        assert theoretical_peak_gen2_x8() == pytest.approx(4.0 * 256 / 280)
+
+    def test_bigger_mps_increases_efficiency(self):
+        assert (pcie_effective_rate_gbytes(PCIeGen.GEN2, 8, 512)
+                > theoretical_peak_gen2_x8())
+
+    def test_gpu_read_bound_is_830mbytes(self):
+        bound = latency_bandwidth_bound_gbytes(
+            CALIB.gpu_bar_max_reads, 256, CALIB.gpu_bar_read_latency_ps)
+        assert bound == pytest.approx(0.83, abs=0.01)
+
+    def test_bound_rejects_bad_rtt(self):
+        with pytest.raises(ValueError):
+            latency_bandwidth_bound_gbytes(4, 256, 0)
+
+
+class TestSpecs:
+    def test_table1_totals(self):
+        spec = HA_PACS_BASE_CLUSTER
+        # 802 TFlops, 268 nodes, per the paper's Table I.
+        assert spec.num_nodes == 268
+        assert spec.total_peak_tflops == pytest.approx(802, rel=0.01)
+        assert spec.node.cpu_peak_gflops == pytest.approx(332.8, rel=0.01)
+        assert spec.node.gpu_peak_gflops == pytest.approx(2660, rel=0.01)
+
+    def test_table1_render_contains_paper_rows(self):
+        text = render_table1()
+        for fragment in ("Xeon-E5 2670", "M2090", "268",
+                         "802 TFlops", "408 kW", "26"):
+            assert fragment in text
+
+    def test_table2_render_contains_paper_rows(self):
+        text = render_table2()
+        for fragment in ("K20", "2496 cores", "SuperMicro X9DRG-QF",
+                         "Intel S2600IP", "Stratix IV", "20121112",
+                         "CUDA 5.0", "CentOS 6.3"):
+            assert fragment in text
+
+    def test_testbed_gpu_is_kepler(self):
+        assert TESTBED.gpu.architecture == "Kepler"
+
+
+class TestCalibrationSanity:
+    def test_dma_tlp_interval_yields_3_3_gbytes(self):
+        wire_ps = 280 / 0.004  # 280 B at 4 GB/s, in ps
+        interval = wire_ps + CALIB.dma_per_tlp_overhead_ps
+        gbytes = 256 / interval * 1000
+        assert gbytes == pytest.approx(3.30, abs=0.03)
+
+    def test_pio_path_sums_to_782ns(self):
+        """The closed-form Fig. 10 path budget equals the simulation.
+
+        A pipelined hop contributes exactly its forward latency (the
+        issue interval elapses inside it); internal links carry the 28-B
+        TLP at ~31.5 GB/s.
+        """
+        c = CALIB
+        wire_4b = (4 + 24) / 0.004          # Gen2 x8, ps
+        wire_int = (4 + 24) / 0.0315077     # Gen3 x32 internal, ps
+        switch = c.switch_forward_ps
+        chip = c.peach2_route_latency_ps
+        total = (c.cpu_store_issue_ps + wire_int          # CPU -> sw0
+                 + 2 * switch                             # sw0 both ways
+                 + 2 * (c.local_link_latency_ps + wire_4b)  # slot links
+                 + 2 * chip                               # both PEACH2s
+                 + (c.cable_link_latency_ps + wire_4b)    # the cable
+                 + (1000 + wire_int)                      # DRAM attach
+                 + c.host_mem_write_commit_ps)
+        assert total / 1000 == pytest.approx(782, abs=1)
+
+    def test_mps_and_mrrs(self):
+        assert CALIB.mps_bytes == 256
+        assert CALIB.mrrs_bytes == 256

@@ -1,0 +1,25 @@
+"""Tests for the calibration self-check."""
+
+from repro.model.validate import (AnchorResult, render_validation,
+                                  validate_calibration)
+
+
+def test_anchor_result_tolerance():
+    good = AnchorResult("x", 100.0, 101.0, 0.02)
+    bad = AnchorResult("x", 100.0, 110.0, 0.02)
+    assert good.ok and not bad.ok
+    assert "ok " in str(good) and "FAIL" in str(bad)
+
+
+def test_all_anchors_pass():
+    results = validate_calibration()
+    assert len(results) >= 5
+    failing = [r for r in results if not r.ok]
+    assert not failing, f"calibration drifted: {failing}"
+
+
+def test_render_mentions_every_anchor():
+    results = validate_calibration()
+    text = render_validation(results)
+    assert f"{len(results)}/{len(results)} anchors" in text
+    assert "782" in text

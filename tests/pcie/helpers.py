@@ -1,0 +1,71 @@
+"""Small test doubles for fabric-level tests."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.pcie.device import Device, TagPool
+from repro.pcie.port import Port, PortRole
+from repro.pcie.tlp import TLP, TLPKind, make_completion
+
+
+class SinkDevice(Device):
+    """Collects every TLP it receives; optional per-packet service time."""
+
+    def __init__(self, engine, name="sink", role=PortRole.EP,
+                 service_ps: int = 0, rx_credits: int = 32):
+        super().__init__(engine, name)
+        self.port = Port(engine, f"{name}.port", role, self,
+                         rx_credits=rx_credits)
+        self.service_ps = service_ps
+        self.received: List[Tuple[int, TLP]] = []
+
+    def handle_tlp(self, port, tlp):
+        self.received.append((self.engine.now_ps, tlp))
+        if self.service_ps:
+            return self._busy()
+        return None
+
+    def _busy(self):
+        yield self.service_ps
+
+
+class MemoryDevice(Device):
+    """A tiny completer: answers reads from a byte array after a latency."""
+
+    def __init__(self, engine, name="mem", size=65536, read_latency_ps=1000,
+                 role=PortRole.EP):
+        super().__init__(engine, name)
+        self.port = Port(engine, f"{name}.port", role, self)
+        self.data = np.zeros(size, dtype=np.uint8)
+        self.read_latency_ps = read_latency_ps
+        self.base = 0
+
+    def handle_tlp(self, port, tlp):
+        if tlp.kind is TLPKind.MWR:
+            off = tlp.address - self.base
+            self.data[off:off + tlp.length] = tlp.payload
+            return None
+        if tlp.kind is TLPKind.MRD:
+            off = tlp.address - self.base
+            chunk = self.data[off:off + tlp.length].copy()
+            self.engine.after(self.read_latency_ps, self.port.send,
+                              make_completion(tlp, chunk))
+            return None
+        return None
+
+
+class RequesterDevice(Device):
+    """Issues reads/writes and matches completions via a tag pool."""
+
+    def __init__(self, engine, name="req", role=PortRole.RC):
+        super().__init__(engine, name)
+        self.port = Port(engine, f"{name}.port", role, self)
+        self.tags = TagPool(engine, name=f"{name}.tags")
+
+    def handle_tlp(self, port, tlp):
+        if tlp.kind is TLPKind.CPLD:
+            self.tags.complete(tlp)
+        return None

@@ -1,0 +1,72 @@
+"""Unit tests for the device base and tag pool."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PCIeError
+from repro.pcie.device import TagPool, allocate_device_id
+from repro.pcie.tlp import make_completion, make_read, make_write
+
+
+def test_device_ids_unique():
+    assert allocate_device_id() != allocate_device_id()
+
+
+class TestTagPool:
+    def test_issue_and_complete(self, engine):
+        pool = TagPool(engine, "t")
+        tag, done = pool.issue(8)
+        request = make_read(0, 8, requester_id=1, tag=tag)
+        pool.complete(make_completion(request,
+                                      np.arange(8, dtype=np.uint8)))
+        assert done.fired
+        assert done.value == bytes(range(8))
+        assert pool.outstanding == 0
+
+    def test_split_completions_reassembled(self, engine):
+        pool = TagPool(engine, "t")
+        tag, done = pool.issue(8)
+        request = make_read(0, 8, requester_id=1, tag=tag)
+        pool.complete(make_completion(request, np.array([1, 2, 3, 4],
+                                                        dtype=np.uint8)))
+        assert not done.fired
+        pool.complete(make_completion(request, np.array([5, 6, 7, 8],
+                                                        dtype=np.uint8)))
+        assert done.fired
+        assert done.value == bytes([1, 2, 3, 4, 5, 6, 7, 8])
+
+    def test_unknown_tag_rejected(self, engine):
+        pool = TagPool(engine, "t")
+        request = make_read(0, 4, requester_id=1, tag=9)
+        with pytest.raises(PCIeError, match="unknown tag"):
+            pool.complete(make_completion(request,
+                                          np.zeros(4, dtype=np.uint8)))
+
+    def test_over_completion_rejected(self, engine):
+        pool = TagPool(engine, "t")
+        tag, _ = pool.issue(4)
+        request = make_read(0, 8, requester_id=1, tag=tag)
+        with pytest.raises(PCIeError, match="over-completed"):
+            pool.complete(make_completion(request,
+                                          np.zeros(8, dtype=np.uint8)))
+
+    def test_non_completion_rejected(self, engine):
+        pool = TagPool(engine, "t")
+        with pytest.raises(PCIeError):
+            pool.complete(make_write(0, np.zeros(4, dtype=np.uint8)))
+
+    def test_tags_recycle(self, engine):
+        pool = TagPool(engine, "t")
+        for _ in range(600):  # more than the 256 tag space, sequentially
+            tag, done = pool.issue(1)
+            request = make_read(0, 1, requester_id=1, tag=tag)
+            pool.complete(make_completion(request,
+                                          np.zeros(1, dtype=np.uint8)))
+        assert pool.outstanding == 0
+
+    def test_tag_space_exhaustion(self, engine):
+        pool = TagPool(engine, "t")
+        for _ in range(TagPool.MAX_TAGS):
+            pool.issue(1)
+        with pytest.raises(PCIeError, match="exhausted"):
+            pool.issue(1)

@@ -1,0 +1,146 @@
+"""Unit tests for the bounded egress stage (backpressure semantics)."""
+
+import numpy as np
+
+from repro.pcie.forwarding import EgressQueue
+from repro.pcie.link import LinkParams, PCIeLink
+from repro.pcie.port import Port, PortRole
+from repro.pcie.tlp import make_write
+from repro.units import ns
+from tests.pcie.helpers import SinkDevice
+
+
+def build(engine, residual=ns(50), capacity=2, sink_service=0,
+          rx_credits=32):
+    src = SinkDevice(engine, "src", role=PortRole.RC)
+    dst = SinkDevice(engine, "dst", role=PortRole.EP,
+                     service_ps=sink_service, rx_credits=rx_credits)
+    PCIeLink(engine, src.port, dst.port, LinkParams(latency_ps=ns(10)))
+    queue = EgressQueue(engine, src.port, residual, capacity=capacity)
+    return queue, src, dst
+
+
+def tlp():
+    return make_write(0, np.zeros(64, dtype=np.uint8))
+
+
+def test_residual_latency_preserved(engine):
+    queue, src, dst = build(engine, residual=ns(100))
+    queue.submit(tlp())
+    engine.run()
+    # 100 residual + 22 wire (88 B) + 10 link latency
+    assert dst.received[0][0] == ns(132)
+
+
+def test_pipelined_not_serialized_at_residual(engine):
+    """Residual latency must not cap throughput."""
+    queue, src, dst = build(engine, residual=ns(500), capacity=8)
+    for _ in range(5):
+        queue.submit(tlp())
+    engine.run()
+    times = [t for t, _ in dst.received]
+    # Spaced at wire rate (22 ns for 88 B), not at 500 ns.
+    assert times[1] - times[0] < ns(30)
+
+
+def test_submit_blocks_when_full(engine):
+    queue, src, dst = build(engine, capacity=1, sink_service=ns(1000),
+                            rx_credits=1)
+    accepted = []
+
+    def producer():
+        for i in range(12):
+            signal = queue.submit(tlp())
+            if not signal.fired:
+                yield signal
+            accepted.append(engine.now_ps)
+
+    engine.process(producer())
+    engine.run()
+    # The pipeline buffers a handful of packets (egress + tx + credits);
+    # beyond that, acceptance is paced at the sink's 1-us service rate.
+    assert accepted[-1] >= 3 * ns(1000)
+    assert accepted[-1] - accepted[-2] >= ns(900)
+    assert len(dst.received) == 12
+
+
+def test_order_preserved_under_pressure(engine):
+    queue, src, dst = build(engine, capacity=2, sink_service=ns(100),
+                            rx_credits=2)
+
+    def producer():
+        for i in range(10):
+            signal = queue.submit(make_write(0, np.full(8, i,
+                                                        dtype=np.uint8)))
+            if not signal.fired:
+                yield signal
+
+    engine.process(producer())
+    engine.run()
+    got = [int(t.payload[0]) for _, t in dst.received]
+    assert got == list(range(10))
+
+
+def test_emitted_counter(engine):
+    queue, src, dst = build(engine)
+    queue.submit(tlp())
+    queue.submit(tlp())
+    engine.run()
+    assert queue.tlps_emitted == 2
+
+
+class TestBubbleFlowControl:
+    def test_injection_blocked_while_bubble_consumed(self, engine):
+        queue, src, dst = build(engine, capacity=3, sink_service=ns(5000),
+                                rx_credits=1)
+        # One packet goes straight to the emitter; fill the store behind
+        # it with transit until only one slot is free.
+        for _ in range(3):
+            queue.submit(tlp())
+        engine.run(until_ps=1)
+        assert queue.store.free_slots == 1
+        # Bubble rule: injection must wait, transit may take the slot.
+        held = queue.submit_injection(tlp())
+        assert not held.fired
+        transit = queue.submit(tlp())
+        assert transit.fired
+        assert queue.injections_held == 1
+        engine.run()
+        assert held.fired  # admitted once the ring drained
+        assert len(dst.received) == 5
+
+    def test_injection_order_preserved(self, engine):
+        queue, src, dst = build(engine, capacity=2, sink_service=ns(500),
+                                rx_credits=1)
+        import numpy as np
+        from repro.pcie.tlp import make_write
+
+        for i in range(6):
+            queue.submit_injection(make_write(0, np.full(8, i,
+                                                         dtype=np.uint8)))
+        engine.run()
+        got = [int(t.payload[0]) for _, t in dst.received]
+        assert got == list(range(6))
+
+    def test_ring_deadlock_avoided(self):
+        """The E19 workload in miniature: all nodes shift by 2 hops on a
+        4-ring — without bubble flow control this deadlocks."""
+        from repro.hw.node import NodeParams
+        from repro.peach2.descriptor import DMADescriptor
+        from repro.tca.subcluster import TCASubCluster
+
+        cluster = TCASubCluster(4, node_params=NodeParams(num_gpus=1))
+        engine = cluster.engine
+        procs = []
+        for src in range(4):
+            dst = (src + 2) % 4
+            chip = cluster.board(src).chip
+            target = cluster.address_map.global_address(
+                dst, 2, cluster.driver(dst).dma_buffer(0))
+            chain = [DMADescriptor(chip.bar2.base + i * 4096,
+                                   target + i * 4096, 4096)
+                     for i in range(8)]
+            procs.append(engine.process(
+                cluster.driver(src).run_chain(0, chain), name=f"f{src}"))
+        while not all(p.done for p in procs):
+            assert engine.step(), "ring deadlocked"

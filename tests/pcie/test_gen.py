@@ -1,0 +1,35 @@
+"""Unit tests for PCIe generation rates."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcie.gen import PCIeGen, link_bytes_per_ps, link_bytes_per_s
+
+
+def test_gen2_x8_is_4_gbytes():
+    assert link_bytes_per_s(PCIeGen.GEN2, 8) == pytest.approx(4e9)
+
+
+def test_gen1_half_of_gen2():
+    assert link_bytes_per_s(PCIeGen.GEN1, 8) == pytest.approx(2e9)
+
+
+def test_gen3_encoding_efficiency():
+    assert PCIeGen.GEN3.encoding_efficiency == pytest.approx(128 / 130)
+    # ~985 MB/s per lane
+    assert PCIeGen.GEN3.bytes_per_s_per_lane == pytest.approx(984.6e6, rel=1e-3)
+
+
+def test_lane_scaling():
+    x4 = link_bytes_per_s(PCIeGen.GEN2, 4)
+    x16 = link_bytes_per_s(PCIeGen.GEN2, 16)
+    assert x16 == pytest.approx(4 * x4)
+
+
+def test_invalid_lane_count():
+    with pytest.raises(ConfigError):
+        link_bytes_per_s(PCIeGen.GEN2, 3)
+
+
+def test_bytes_per_ps():
+    assert link_bytes_per_ps(PCIeGen.GEN2, 8) == pytest.approx(0.004)

@@ -1,0 +1,62 @@
+"""Unit tests for the QPI bridge's P2P degradation."""
+
+import numpy as np
+
+from repro.pcie.link import LinkParams, PCIeLink
+from repro.pcie.port import PortRole
+from repro.pcie.qpi import QPIBridge, QPIParams
+from repro.pcie.tlp import make_write
+from repro.units import bw_gbytes_per_s, ns
+from tests.pcie.helpers import SinkDevice
+
+
+def build(engine, params=None):
+    bridge = QPIBridge(engine, "qpi", params or QPIParams())
+    src = SinkDevice(engine, "src", role=PortRole.INTERNAL)
+    dst = SinkDevice(engine, "dst", role=PortRole.INTERNAL)
+    link = LinkParams(latency_ps=ns(1))
+    PCIeLink(engine, src.port, bridge.port_a, link)
+    PCIeLink(engine, bridge.port_b, dst.port, link)
+    return bridge, src, dst
+
+
+def test_forwards_both_directions(engine):
+    bridge, src, dst = build(engine)
+    src.port.send(make_write(0x10, np.zeros(8, dtype=np.uint8)))
+    dst.port.send(make_write(0x20, np.zeros(8, dtype=np.uint8)))
+    engine.run()
+    assert len(dst.received) == 1 and len(src.received) == 1
+
+
+def test_cpu_traffic_near_line_rate(engine):
+    bridge, src, dst = build(engine)
+    n = 50
+    for _ in range(n):
+        src.port.send(make_write(0, np.zeros(256, dtype=np.uint8)))
+    engine.run()
+    bw = bw_gbytes_per_s(n * 256, engine.now_ps)
+    assert bw > 3.0  # near the Gen2 x8 line rate
+
+
+def test_p2p_traffic_degraded_to_hundreds_of_mbytes(engine):
+    bridge, src, dst = build(engine)
+    bridge.mark_p2p_requester(777)
+    n = 50
+    for _ in range(n):
+        src.port.send(make_write(0, np.zeros(256, dtype=np.uint8),
+                                 requester_id=777))
+    engine.run()
+    bw = bw_gbytes_per_s(n * 256, engine.now_ps)
+    # "several hundred Mbytes/sec" (§IV-A2)
+    assert 0.1 < bw < 0.5
+    assert bridge.p2p_tlps == n
+
+
+def test_mixed_traffic_classes(engine):
+    bridge, src, dst = build(engine)
+    bridge.mark_p2p_requester(5)
+    src.port.send(make_write(0, np.zeros(8, dtype=np.uint8), requester_id=5))
+    src.port.send(make_write(0, np.zeros(8, dtype=np.uint8), requester_id=6))
+    engine.run()
+    assert bridge.p2p_tlps == 1
+    assert len(dst.received) == 2

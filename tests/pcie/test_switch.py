@@ -1,0 +1,110 @@
+"""Unit tests for the PCIe switch."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.pcie.address import Region
+from repro.pcie.link import LinkParams, PCIeLink
+from repro.pcie.port import PortRole
+from repro.pcie.switch import PCIeSwitch, SwitchParams
+from repro.pcie.tlp import make_completion, make_read, make_write
+from repro.units import ns
+from tests.pcie.helpers import SinkDevice
+
+
+def build_fabric(engine):
+    """RC requester -> switch -> two endpoint sinks."""
+    switch = PCIeSwitch(engine, "sw", SwitchParams(forward_latency_ps=ns(50)))
+    up = SinkDevice(engine, "cpu", role=PortRole.INTERNAL)
+    sink_a = SinkDevice(engine, "epA", role=PortRole.EP)
+    sink_b = SinkDevice(engine, "epB", role=PortRole.EP)
+    p_up = switch.new_port("up", PortRole.INTERNAL)
+    p_a = switch.new_port("a", PortRole.RC)
+    p_b = switch.new_port("b", PortRole.RC)
+    link = LinkParams(latency_ps=ns(10))
+    PCIeLink(engine, p_up, up.port, LinkParams(latency_ps=ns(10),
+                                               gen=link.gen))
+    PCIeLink(engine, p_a, sink_a.port, link)
+    PCIeLink(engine, p_b, sink_b.port, link)
+    switch.map_region(Region(0x1000, 0x1000, "a"), p_a)
+    switch.map_region(Region(0x2000, 0x1000, "b"), p_b)
+    switch.map_device(up.device_id, p_up)
+    return switch, up, sink_a, sink_b
+
+
+def test_routes_by_address(engine):
+    switch, up, sink_a, sink_b = build_fabric(engine)
+    up.port.send(make_write(0x1100, np.zeros(8, dtype=np.uint8)))
+    up.port.send(make_write(0x2100, np.zeros(8, dtype=np.uint8)))
+    engine.run()
+    assert len(sink_a.received) == 1
+    assert len(sink_b.received) == 1
+    assert sink_a.received[0][1].address == 0x1100
+
+
+def test_unmapped_address_raises(engine):
+    switch, up, *_ = build_fabric(engine)
+    up.port.send(make_write(0x9000, np.zeros(8, dtype=np.uint8)))
+    with pytest.raises(AddressError):
+        engine.run()
+
+
+def test_completion_routed_by_requester_id(engine):
+    switch, up, sink_a, _ = build_fabric(engine)
+    request = make_read(0x1100, 8, requester_id=up.device_id, tag=1)
+    cpl = make_completion(request, np.zeros(8, dtype=np.uint8))
+    sink_a.port.send(cpl)
+    engine.run()
+    assert any(t.kind.value == "CplD" for _, t in up.received)
+
+
+def test_unknown_completion_target_raises(engine):
+    switch, up, sink_a, _ = build_fabric(engine)
+    request = make_read(0x1100, 8, requester_id=99999, tag=1)
+    sink_a.port.send(make_completion(request, np.zeros(8, dtype=np.uint8)))
+    with pytest.raises(AddressError, match="no completion route"):
+        engine.run()
+
+
+def test_forward_latency_applied(engine):
+    switch, up, sink_a, _ = build_fabric(engine)
+    up.port.send(make_write(0x1000, np.zeros(4, dtype=np.uint8)))
+    engine.run()
+    arrival = sink_a.received[0][0]
+    # two link hops (~10ns latency + 7ns wire each) + 50ns switch
+    assert arrival >= ns(50 + 20)
+
+
+def test_pipelined_throughput_not_limited_by_latency(engine):
+    """50 ns forward latency must not cap throughput at 1/50ns."""
+    switch, up, sink_a, _ = build_fabric(engine)
+    for _ in range(10):
+        up.port.send(make_write(0x1000, np.zeros(256, dtype=np.uint8)))
+    engine.run()
+    times = [t for t, _ in sink_a.received]
+    # Wire-limited spacing (70 ns at Gen2 x8), close to it, not 50+70.
+    assert times[-1] - times[0] <= 9 * ns(75)
+
+
+def test_duplicate_port_name_rejected(engine):
+    switch = PCIeSwitch(engine, "sw")
+    switch.new_port("x")
+    with pytest.raises(ConfigError):
+        switch.new_port("x")
+
+
+def test_duplicate_device_mapping_rejected(engine):
+    switch = PCIeSwitch(engine, "sw")
+    port = switch.new_port("x")
+    switch.map_device(1, port)
+    with pytest.raises(ConfigError):
+        switch.map_device(1, port)
+
+
+def test_forward_counter(engine):
+    switch, up, sink_a, _ = build_fabric(engine)
+    for _ in range(4):
+        up.port.send(make_write(0x1000, np.zeros(4, dtype=np.uint8)))
+    engine.run()
+    assert switch.tlps_forwarded == 4

@@ -1,0 +1,81 @@
+"""Unit tests for the board model and NIOS firmware."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.node import ComputeNode, NodeParams
+from repro.peach2.board import PEACH2Board, TCA_WINDOW_BYTES
+from repro.peach2.chip import PEACH2Params
+from repro.pcie.port import PortRole
+from repro.units import GiB
+
+
+def test_config_space_covers_three_windows(engine):
+    board = PEACH2Board(engine, "b")
+    bars = board.config_space.bars
+    assert bars[4].size == TCA_WINDOW_BYTES == 512 * GiB
+    assert bars[2].size == board.chip.params.internal_memory_bytes
+    assert 0 in bars and not bars[0].prefetchable
+    assert not board.config_space.enabled  # BIOS has not scanned yet
+
+
+def test_enumeration_fills_bars(peach2_node):
+    node, board = peach2_node
+    assert board.node is node
+    assert board.chip.bar4.size == 512 * GiB
+    assert board.chip.bar4.base % (512 * GiB) == 0
+
+
+def test_cable_east_west_roles(engine):
+    a = PEACH2Board(engine, "a")
+    b = PEACH2Board(engine, "b")
+    link = a.cable_east_to(b)
+    assert link.up
+    assert a.chip.port_e.connected and b.chip.port_w.connected
+
+
+def test_cable_south_needs_complementary_images(engine):
+    a = PEACH2Board(engine, "a")
+    b = PEACH2Board(engine, "b")
+    with pytest.raises(ConfigError, match="complementary"):
+        a.cable_south_to(b)
+    b.chip.reconfigure_port_s(PortRole.RC)
+    link = a.cable_south_to(b)
+    assert link.up
+
+
+def test_port_s_cable_has_repeater_latency(engine):
+    board = PEACH2Board(engine, "b")
+    assert (board.cable_params(for_port_s=True).latency_ps
+            > board.cable_params().latency_ps)
+
+
+def test_firmware_health_report(peach2_node):
+    node, board = peach2_node
+    report = board.chip.firmware.health_report()
+    assert "node_id=0" in report
+    assert "port N" in report
+    assert "dma chains completed: 0" in report
+
+
+def test_firmware_detects_link_transitions(engine):
+    a = PEACH2Board(engine, "a")
+    b = PEACH2Board(engine, "b")
+    link = a.cable_east_to(b)
+    fw = a.chip.firmware
+    states = fw.scan_links()
+    assert states["E"] is True and states["W"] is False
+    link.take_down()
+    states = fw.scan_links()
+    assert states["E"] is False
+    assert any("DOWN" in e for e in fw.events)
+
+
+def test_ring_cable_down_leaves_host_link_up(peach2_node):
+    """§V: unlike NTB, 'the link state with the other node has no impact
+    on the connection between the host and the PEACH2 chip'."""
+    node, board = peach2_node
+    other = PEACH2Board(node.engine, "other")
+    ring = board.cable_east_to(other)
+    ring.take_down()
+    assert board.chip.port_n.link.up

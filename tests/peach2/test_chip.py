@@ -1,0 +1,201 @@
+"""Unit tests for the PEACH2 chip: ports, routing, translation, BARs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError, ConfigError, PCIeError
+from repro.hw.node import ComputeNode, NodeParams
+from repro.peach2.board import PEACH2Board
+from repro.peach2.chip import PEACH2Chip, PEACH2Params
+from repro.peach2.registers import (BLOCK_HOST, PortCode, RouteEntry)
+from repro.pcie.link import LinkParams, PCIeLink
+from repro.pcie.port import PortRole
+from repro.pcie.tlp import make_read, make_write
+from repro.tca.address_map import TCAAddressMap
+from repro.units import GiB, ns
+from tests.pcie.helpers import SinkDevice
+
+
+def test_port_roles_match_paper(engine):
+    chip = PEACH2Chip(engine, "p")
+    assert chip.port_n.role is PortRole.EP   # ordinary PCIe device to host
+    assert chip.port_e.role is PortRole.EP
+    assert chip.port_w.role is PortRole.RC
+    assert chip.port_s.role is PortRole.EP   # factory image
+
+
+def test_port_s_reconfiguration_requires_uncabled(engine):
+    a = PEACH2Chip(engine, "a")
+    b = PEACH2Chip(engine, "b")
+    b.reconfigure_port_s(PortRole.RC)
+    PCIeLink(engine, a.port_s, b.port_s, LinkParams())
+    with pytest.raises(ConfigError, match="cabled"):
+        a.reconfigure_port_s(PortRole.RC)
+
+
+def test_port_s_dynamic_partial_reconfiguration(engine):
+    a = PEACH2Chip(engine, "a", PEACH2Params(dynamic_port_s=True))
+    b = PEACH2Chip(engine, "b")
+    b.reconfigure_port_s(PortRole.RC)
+    PCIeLink(engine, a.port_s, b.port_s, LinkParams())
+    a.reconfigure_port_s(PortRole.RC)  # allowed live
+    assert a.port_s.role is PortRole.RC
+
+
+def test_port_s_invalid_role(engine):
+    chip = PEACH2Chip(engine, "p")
+    with pytest.raises(ConfigError):
+        chip.reconfigure_port_s(PortRole.INTERNAL)
+
+
+def configured_chip(engine):
+    """A chip with identity/routes programmed, ports E/W cabled to sinks."""
+    chip = PEACH2Chip(engine, "p")
+    amap = TCAAddressMap(512 * GiB)
+    chip.regs.set_identity(1, amap.base)
+    mask = amap.node_mask()
+    chip.regs.set_route(0, RouteEntry(mask, amap.node_region(1).base,
+                                      amap.node_region(1).base, PortCode.N))
+    chip.regs.set_route(1, RouteEntry(mask, amap.node_region(2).base,
+                                      amap.node_region(3).base, PortCode.E))
+    chip.regs.set_route(2, RouteEntry(mask, amap.node_region(0).base,
+                                      amap.node_region(0).base, PortCode.W))
+    chip.regs.set_block_base(BLOCK_HOST, 0x1000)
+    east = SinkDevice(engine, "east", role=PortRole.RC)
+    west = SinkDevice(engine, "west", role=PortRole.EP)
+    north = SinkDevice(engine, "north", role=PortRole.RC)
+    PCIeLink(engine, chip.port_e, east.port, LinkParams(latency_ps=ns(1)))
+    PCIeLink(engine, west.port, chip.port_w, LinkParams(latency_ps=ns(1)))
+    PCIeLink(engine, north.port, chip.port_n, LinkParams(latency_ps=ns(1)))
+    return chip, amap, east, west, north
+
+
+class TestRouting:
+    def test_decide_east(self, engine):
+        chip, amap, *_ = configured_chip(engine)
+        port, translated = chip.decide_route(
+            amap.global_address(2, 0, 0x10))
+        assert port is chip.port_e and translated is None
+
+    def test_decide_west(self, engine):
+        chip, amap, *_ = configured_chip(engine)
+        port, _ = chip.decide_route(amap.global_address(0, 0, 0))
+        assert port is chip.port_w
+
+    def test_decide_mine_translates(self, engine):
+        chip, amap, *_ = configured_chip(engine)
+        addr = amap.global_address(1, BLOCK_HOST, 0x40)
+        port, translated = chip.decide_route(addr)
+        assert port is chip.port_n
+        assert translated == 0x1000 + 0x40
+
+    def test_non_tca_address_goes_north_untranslated(self, engine):
+        chip, *_ = configured_chip(engine)
+        port, translated = chip.decide_route(0x2000)
+        assert port is chip.port_n and translated is None
+
+    def test_relay_from_ring_to_ring(self, engine):
+        chip, amap, east, west, north = configured_chip(engine)
+        # Arrives on W, destined for node 2 -> must exit E.
+        tlp = make_write(amap.global_address(2, 0, 0),
+                         np.zeros(8, dtype=np.uint8))
+        west.port.send(tlp)
+        engine.run()
+        assert len(east.received) == 1
+
+    def test_relay_to_host_translates(self, engine):
+        chip, amap, east, west, north = configured_chip(engine)
+        tlp = make_write(amap.global_address(1, BLOCK_HOST, 0x20),
+                         np.arange(4, dtype=np.uint8))
+        west.port.send(tlp)
+        engine.run()
+        assert len(north.received) == 1
+        assert north.received[0][1].address == 0x1020
+
+    def test_remote_read_from_ring_rejected(self, engine):
+        chip, amap, east, west, north = configured_chip(engine)
+        west.port.send(make_read(amap.global_address(1, BLOCK_HOST, 0), 8,
+                                 requester_id=1, tag=0))
+        with pytest.raises(PCIeError, match="RDMA put"):
+            engine.run()
+
+    def test_remote_read_injection_rejected(self, engine):
+        chip, amap, *_ = configured_chip(engine)
+        with pytest.raises(PCIeError, match="cannot read remote"):
+            chip.inject(make_read(amap.global_address(2, 0, 0), 8,
+                                  requester_id=chip.device_id, tag=0))
+
+    def test_translation_geometry(self, engine):
+        chip, amap, *_ = configured_chip(engine)
+        # Host block of node 1 starts at stride*1 + block_size*2.
+        addr = amap.global_address(1, BLOCK_HOST, 12345)
+        assert chip.translate_to_local(addr) == 0x1000 + 12345
+
+    def test_route_cache_invalidates_on_rewrite(self, engine):
+        chip, amap, *_ = configured_chip(engine)
+        assert chip.decide_route(
+            amap.global_address(2, 0, 0))[0] is chip.port_e
+        # Repoint node 2 to the W port and re-check.
+        chip.regs.set_route(1, RouteEntry(
+            amap.node_mask(), amap.node_region(2).base,
+            amap.node_region(3).base, PortCode.W))
+        assert chip.decide_route(
+            amap.global_address(2, 0, 0))[0] is chip.port_w
+
+    def test_tca_block_of(self, engine):
+        chip, amap, *_ = configured_chip(engine)
+        assert chip.tca_block_of(amap.global_address(3, 2, 5)) == 2
+        assert chip.tca_block_of(0x100) is None
+
+    def test_routes_off_node(self, engine):
+        chip, amap, *_ = configured_chip(engine)
+        assert chip.routes_off_node(amap.global_address(2, 0, 0))
+        assert not chip.routes_off_node(amap.global_address(1, 2, 0))
+        assert not chip.routes_off_node(0x5000)
+
+
+class TestBars:
+    def test_bar0_register_write_read(self, peach2_node):
+        node, board = peach2_node
+        chip = board.chip
+        engine = node.engine
+        node.cpu.store_u32(chip.bar0.base + 0x700, 0xABCD)
+        engine.run()
+        assert chip.regs.peek_u64(0x700) & 0xFFFF_FFFF == 0xABCD
+
+        def proc():
+            data = yield node.cpu.load(chip.bar0.base + 0x700, 4)
+            return int.from_bytes(data, "little")
+
+        assert engine.run_process(proc()) == 0xABCD
+
+    def test_bar2_internal_memory_access(self, peach2_node):
+        node, board = peach2_node
+        chip = board.chip
+        engine = node.engine
+        data = np.arange(64, dtype=np.uint8)
+        node.cpu.store(chip.bar2.base + 0x100, data[:8])
+        engine.run()
+        assert np.array_equal(chip.internal.read(0x100, 8), data[:8])
+
+        def proc():
+            got = yield node.cpu.load(chip.bar2.base + 0x100, 8)
+            return got
+
+        assert engine.run_process(proc()) == bytes(range(8))
+
+    def test_bar_assignment_validated(self, engine):
+        from repro.pcie.address import Region
+
+        chip = PEACH2Chip(engine, "p")
+        with pytest.raises(ConfigError, match="BAR0 too small"):
+            chip.assign_bars(Region(0, 1024, "b0"),
+                             Region(4096, 512 * 1024 * 1024, "b2"),
+                             Region(512 * GiB, 512 * GiB, "b4"))
+
+    def test_internal_address_helpers(self, peach2_node):
+        _, board = peach2_node
+        chip = board.chip
+        assert chip.is_internal_address(chip.bar2.base + 10)
+        assert not chip.is_internal_address(chip.bar0.base)
+        assert chip.internal_offset(chip.bar2.base + 10) == 10

@@ -1,0 +1,117 @@
+"""Unit tests for the NIOS management console and DMA abort."""
+
+import numpy as np
+import pytest
+
+from repro.drivers.peach2_driver import PEACH2Driver
+from repro.peach2.descriptor import DMADescriptor
+from repro.peach2.dma import STATUS_ABORTED, STATUS_DONE
+from repro.units import us
+
+
+@pytest.fixture
+def rig(peach2_node):
+    node, board = peach2_node
+    return node, board, PEACH2Driver(node, board), board.chip.console
+
+
+def test_help_and_unknown(rig):
+    _, _, _, console = rig
+    assert "commands" in console.execute("help")
+    assert "unknown command" in console.execute("frobnicate")
+    assert console.history[-1] == "frobnicate"
+    assert console.execute("") == ""
+
+
+def test_id_reflects_registers(rig):
+    node, board, _, console = rig
+    board.chip.regs.set_identity(5, 512 << 30)
+    out = console.execute("id")
+    assert "node_id=5" in out
+
+
+def test_links_command(rig):
+    _, _, _, console = rig
+    out = console.execute("links")
+    assert "N=up" in out and "E=down" in out
+
+
+def test_counters_after_traffic(rig):
+    node, board, driver, console = rig
+    board.chip.internal.write(0, np.zeros(256, dtype=np.uint8))
+    chain = [DMADescriptor(board.chip.bar2.base, driver.dma_buffer(0), 256)]
+    node.engine.run_process(driver.run_chain(0, chain))
+    out = console.execute("counters")
+    assert "routed_total=" in out
+    assert "N: tx=" in out
+
+
+def test_routes_command(rig):
+    from repro.peach2.registers import PortCode, RouteEntry
+
+    _, board, _, console = rig
+    assert "empty" in console.execute("routes")
+    board.chip.regs.set_route(0, RouteEntry(0xF000, 0x1000, 0x2000,
+                                            PortCode.E))
+    out = console.execute("routes")
+    assert "-> E" in out and "0x1000" in out
+
+
+def test_dma_status_command(rig):
+    node, board, driver, console = rig
+    assert "ch0: idle" in console.execute("dma 0")
+    board.chip.internal.write(0, np.zeros(64, dtype=np.uint8))
+    chain = [DMADescriptor(board.chip.bar2.base, driver.dma_buffer(0), 64)]
+    node.engine.run_process(driver.run_chain(0, chain))
+    assert "ch0: done" in console.execute("dma 0")
+    assert "ch1: idle" in console.execute("dma")
+
+
+def test_command_errors_reported_not_raised(rig):
+    _, _, _, console = rig
+    assert "error:" in console.execute("dma nine")
+    assert "usage:" in console.execute("reset")
+
+
+class TestAbort:
+    def test_abort_idle_channel(self, rig):
+        _, board, _, console = rig
+        assert not board.chip.dma.abort(0)
+        assert "nothing to abort" in console.execute("reset dma 0")
+
+    def test_abort_running_chain(self, rig):
+        node, board, driver, console = rig
+        chip = board.chip
+        # A long chain: 200 x 4 KB writes (~250 us).
+        chain = [DMADescriptor(chip.bar2.base + i * 4096,
+                               driver.dma_buffer(i * 4096), 4096)
+                 for i in range(200)]
+        driver.write_chain(0, chain)
+        done = chip.dma.start(0)
+        node.engine.run(until_ps=us(50))
+        assert "abort requested" in console.execute("reset dma 0")
+        node.engine.run()
+        assert done.fired
+        assert chip.regs.dma_status(0) == STATUS_ABORTED
+        # Only a prefix of the chain executed.
+        assert chip.dma.bytes_transferred < 200 * 4096
+
+    def test_channel_reusable_after_abort(self, rig):
+        node, board, driver, console = rig
+        chip = board.chip
+        chain = [DMADescriptor(chip.bar2.base + i * 4096,
+                               driver.dma_buffer(i * 4096), 4096)
+                 for i in range(100)]
+        driver.write_chain(0, chain)
+        chip.dma.start(0)
+        node.engine.run(until_ps=us(20))
+        chip.dma.abort(0)
+        node.engine.run()
+        # Start a fresh, short chain on the same channel.
+        data = np.arange(64, dtype=np.uint8)
+        chip.internal.write(0x100000, data)
+        short = [DMADescriptor(chip.bar2.base + 0x100000,
+                               driver.dma_buffer(0x400000), 64)]
+        node.engine.run_process(driver.run_chain(0, short))
+        assert chip.regs.dma_status(0) == STATUS_DONE
+        assert np.array_equal(driver.read_dma_buffer(0x400000, 64), data)

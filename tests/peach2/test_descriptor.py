@@ -1,0 +1,59 @@
+"""Unit tests for DMA descriptors and table encoding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DMAError
+from repro.peach2.descriptor import (DESCRIPTOR_BYTES, DescriptorFlags,
+                                     DMADescriptor, decode_descriptor,
+                                     decode_table, encode_table)
+
+
+def test_encode_decode_roundtrip():
+    desc = DMADescriptor(0x1234, 0x5678, 4096, DescriptorFlags.FENCE)
+    assert decode_descriptor(desc.encode()) == desc
+
+
+def test_descriptor_is_32_bytes():
+    assert len(DMADescriptor(0, 1, 1).encode()) == DESCRIPTOR_BYTES
+
+
+def test_zero_length_rejected():
+    with pytest.raises(DMAError):
+        DMADescriptor(0, 0, 0)
+
+
+def test_negative_address_rejected():
+    with pytest.raises(DMAError):
+        DMADescriptor(-1, 0, 4)
+
+
+def test_table_sets_interrupt_on_last():
+    chain = [DMADescriptor(0, 0x100, 64) for _ in range(3)]
+    table = encode_table(chain)
+    decoded = decode_table(table, 3)
+    assert not decoded[0].flags & DescriptorFlags.INTERRUPT
+    assert not decoded[1].flags & DescriptorFlags.INTERRUPT
+    assert decoded[2].flags & DescriptorFlags.INTERRUPT
+
+
+def test_table_preserves_fence():
+    chain = [DMADescriptor(0, 0x100, 64),
+             DMADescriptor(0x100, 0x200, 64, DescriptorFlags.FENCE)]
+    decoded = decode_table(encode_table(chain), 2)
+    assert decoded[1].flags & DescriptorFlags.FENCE
+
+
+def test_empty_table_rejected():
+    with pytest.raises(DMAError):
+        encode_table([])
+
+
+def test_short_table_rejected():
+    with pytest.raises(DMAError):
+        decode_table(np.zeros(16, dtype=np.uint8), 1)
+
+
+def test_bad_raw_size():
+    with pytest.raises(DMAError):
+        decode_descriptor(b"x" * 31)

@@ -1,0 +1,103 @@
+"""Unit tests for the PEACH2 register file."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.peach2.registers import (DEFAULT_BLOCK_SIZE, DEFAULT_NODE_STRIDE,
+                                    DMA_REG_DESC_ADDR, DMA_REG_DOORBELL,
+                                    NUM_ROUTE_ENTRIES, PortCode, RegisterFile,
+                                    RouteEntry)
+from repro.units import GiB
+
+
+def test_defaults_match_fig4():
+    regs = RegisterFile()
+    assert regs.node_stride == 32 * GiB
+    assert regs.block_size == 8 * GiB
+    assert DEFAULT_NODE_STRIDE == 4 * DEFAULT_BLOCK_SIZE
+
+
+def test_identity_roundtrip():
+    regs = RegisterFile()
+    regs.set_identity(3, 512 * GiB)
+    assert regs.node_id == 3
+    assert regs.tca_base == 512 * GiB
+
+
+def test_u64_poke_peek():
+    regs = RegisterFile()
+    regs.poke_u64(0x700, 0xDEADBEEF12345678)
+    assert regs.peek_u64(0x700) == 0xDEADBEEF12345678
+
+
+def test_out_of_range_access():
+    regs = RegisterFile()
+    with pytest.raises(ConfigError):
+        regs.write(70000, np.zeros(8, dtype=np.uint8))
+    with pytest.raises(ConfigError):
+        regs.read(65536, 4)
+
+
+def test_route_entry_matching():
+    entry = RouteEntry(mask=~(32 * GiB - 1) & (2**64 - 1),
+                       lower=512 * GiB, upper=512 * GiB + 32 * GiB,
+                       port=PortCode.E)
+    assert entry.matches(512 * GiB + 5)
+    assert entry.matches(512 * GiB + 32 * GiB)
+    assert not entry.matches(512 * GiB + 64 * GiB + 5)
+
+
+def test_route_table_roundtrip():
+    regs = RegisterFile()
+    entry = RouteEntry(0xFFFF_0000, 0x1000_0000, 0x2000_0000, PortCode.W)
+    regs.set_route(2, entry)
+    routes = regs.routes()
+    assert routes == [entry]
+
+
+def test_route_invalidate():
+    regs = RegisterFile()
+    regs.set_route(0, RouteEntry(1, 2, 3, PortCode.S))
+    regs.set_route(0, None)
+    assert regs.routes() == []
+
+
+def test_route_index_bounds():
+    regs = RegisterFile()
+    with pytest.raises(ConfigError):
+        regs.set_route(NUM_ROUTE_ENTRIES, RouteEntry(0, 0, 0, PortCode.N))
+
+
+def test_block_bases():
+    regs = RegisterFile()
+    regs.set_block_base(0, 0x40_0000_0000)
+    assert regs.block_base(0) == 0x40_0000_0000
+    with pytest.raises(ConfigError):
+        regs.set_block_base(4, 0)
+
+
+def test_write_hook_fires_with_value():
+    regs = RegisterFile()
+    seen = []
+    offset = RegisterFile.dma_offset(1, DMA_REG_DOORBELL)
+    regs.write_hooks[offset] = seen.append
+    regs.poke_u64(offset, 7)
+    assert seen == [7]
+
+
+def test_dma_channel_registers():
+    regs = RegisterFile()
+    regs.poke_u64(RegisterFile.dma_offset(0, DMA_REG_DESC_ADDR), 0x1234)
+    assert regs.dma_desc_addr(0) == 0x1234
+    regs.set_dma_status(0, 2)
+    assert regs.dma_status(0) == 2
+    with pytest.raises(ConfigError):
+        RegisterFile.dma_offset(9, 0)
+
+
+def test_registers_are_real_bytes():
+    regs = RegisterFile()
+    regs.set_identity(5, 1 * GiB)
+    raw = regs.read(0x000, 8)
+    assert int.from_bytes(raw.tobytes(), "little") == 5

@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.hw.memory import BackingStore
+from repro.pcie.packetizer import split_read_requests, split_transfer
+from repro.pcie.tlp import TLPKind, tlp_wire_bytes
+from repro.peach2.descriptor import (DescriptorFlags, DMADescriptor,
+                                     decode_descriptor, decode_table,
+                                     encode_table)
+from repro.tca.address_map import TCAAddressMap
+from repro.units import GiB
+
+addresses = st.integers(min_value=0, max_value=2**48 - 1)
+lengths = st.integers(min_value=1, max_value=1 << 20)
+mps_values = st.sampled_from([64, 128, 256, 512])
+
+
+@given(addresses, st.integers(min_value=0, max_value=1 << 16), mps_values)
+def test_packetizer_partitions_exactly(address, nbytes, mps):
+    chunks = split_transfer(address, nbytes, mps)
+    # Exact cover, in order, no overlap.
+    pos = address
+    for addr, size in chunks:
+        assert addr == pos
+        assert 1 <= size <= mps
+        pos += size
+    assert pos == address + nbytes
+    # No chunk crosses a 4-KiB boundary.
+    for addr, size in chunks:
+        assert addr // 4096 == (addr + size - 1) // 4096
+
+
+@given(addresses, st.integers(min_value=1, max_value=1 << 16), mps_values)
+def test_read_requests_cover_range(address, nbytes, mrrs):
+    chunks = split_read_requests(address, nbytes, mrrs)
+    assert sum(s for _, s in chunks) == nbytes
+    assert chunks[0][0] == address
+
+
+@given(st.integers(min_value=0, max_value=4096))
+def test_wire_bytes_monotone_in_payload(length):
+    assert (tlp_wire_bytes(TLPKind.MWR, length)
+            == length + tlp_wire_bytes(TLPKind.MWR, 0))
+    assert tlp_wire_bytes(TLPKind.MRD, length) == 24
+
+
+@given(addresses, addresses, lengths,
+       st.sampled_from([DescriptorFlags.NONE, DescriptorFlags.FENCE,
+                        DescriptorFlags.INTERRUPT,
+                        DescriptorFlags.FENCE | DescriptorFlags.INTERRUPT]))
+def test_descriptor_roundtrip(src, dst, length, flags):
+    desc = DMADescriptor(src, dst, length, flags)
+    assert decode_descriptor(desc.encode()) == desc
+
+
+@given(st.lists(st.tuples(addresses, addresses, lengths), min_size=1,
+                max_size=20))
+def test_table_roundtrip_preserves_chain(raw):
+    chain = [DMADescriptor(s, d, n) for s, d, n in raw]
+    decoded = decode_table(encode_table(chain), len(chain))
+    assert [(d.src, d.dst, d.length) for d in decoded] == raw
+    assert decoded[-1].flags & DescriptorFlags.INTERRUPT
+
+
+@given(st.integers(min_value=0, max_value=15),
+       st.integers(min_value=0, max_value=3),
+       st.integers(min_value=0, max_value=8 * GiB - 1))
+def test_address_map_roundtrip(node, block, offset):
+    amap = TCAAddressMap(512 * GiB)
+    addr = amap.global_address(node, block, offset)
+    assert amap.decompose(addr) == (node, block, offset)
+    assert amap.contains(addr)
+
+
+@given(st.integers(min_value=0, max_value=15),
+       st.integers(min_value=0, max_value=3))
+def test_address_map_blocks_disjoint(node, block):
+    amap = TCAAddressMap(512 * GiB)
+    region = amap.block_region(node, block)
+    for other_node in range(0, 16, 5):
+        for other_block in range(4):
+            if (other_node, other_block) == (node, block):
+                continue
+            assert not region.overlaps(
+                amap.block_region(other_node, other_block))
+
+
+@given(st.data())
+def test_backing_store_write_read_consistency(data):
+    """Random interleaved writes then reads equal a numpy reference."""
+    size = 1 << 16
+    store = BackingStore(size, "prop")
+    reference = np.zeros(size, dtype=np.uint8)
+    for _ in range(data.draw(st.integers(1, 8))):
+        offset = data.draw(st.integers(0, size - 1))
+        nbytes = data.draw(st.integers(1, min(8192, size - offset)))
+        payload = np.frombuffer(
+            data.draw(st.binary(min_size=nbytes, max_size=nbytes)),
+            dtype=np.uint8).copy()
+        store.write(offset, payload)
+        reference[offset:offset + nbytes] = payload
+    offset = data.draw(st.integers(0, size - 1))
+    nbytes = data.draw(st.integers(1, size - offset))
+    assert np.array_equal(store.read(offset, nbytes),
+                          reference[offset:offset + nbytes])

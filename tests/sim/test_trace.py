@@ -1,0 +1,42 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.trace import Tracer
+
+
+def test_disabled_tracer_still_counts():
+    tracer = Tracer(enabled=False)
+    tracer.emit(100, "link", "tlp-sent", bytes=280)
+    assert tracer.count("tlp-sent") == 1
+    assert tracer.records == []
+
+
+def test_enabled_tracer_records():
+    tracer = Tracer(enabled=True)
+    tracer.emit(100, "link", "tlp-sent", bytes=280)
+    tracer.emit(200, "chip", "routed")
+    assert len(tracer.records) == 2
+    assert tracer.records[0].component == "link"
+    assert "tlp-sent" in str(tracer.records[0])
+
+
+def test_max_records_cap():
+    tracer = Tracer(enabled=True, max_records=2)
+    for i in range(5):
+        tracer.emit(i, "c", "k")
+    assert len(tracer.records) == 2
+    assert tracer.count("k") == 5
+
+
+def test_clear():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1, "c", "k")
+    tracer.clear()
+    assert tracer.records == [] and tracer.count("k") == 0
+
+
+def test_dump_contains_all_lines():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1, "a", "x")
+    tracer.emit(2, "b", "y", n=3)
+    dump = tracer.dump()
+    assert "a: x" in dump and "b: y n=3" in dump

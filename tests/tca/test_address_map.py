@@ -1,0 +1,92 @@
+"""Unit tests for the Fig. 4 address map."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.tca.address_map import (BLOCK_GPU0, BLOCK_GPU1, BLOCK_HOST,
+                                   BLOCK_INTERNAL, TCAAddressMap)
+from repro.units import GiB
+
+BASE = 512 * GiB
+
+
+def test_default_geometry():
+    amap = TCAAddressMap(BASE)
+    assert amap.max_nodes == 16
+    assert amap.node_stride == 32 * GiB
+    assert amap.block_size == 8 * GiB
+
+
+def test_node_regions_tile_the_window():
+    amap = TCAAddressMap(BASE)
+    for i in range(15):
+        assert amap.node_region(i).end == amap.node_region(i + 1).base
+    assert amap.node_region(15).end == BASE + 512 * GiB
+
+
+def test_blocks_tile_the_node_region():
+    amap = TCAAddressMap(BASE)
+    node = amap.node_region(3)
+    blocks = [amap.block_region(3, b) for b in range(4)]
+    assert blocks[0].base == node.base
+    assert blocks[3].end == node.end
+
+
+def test_block_order_matches_fig4():
+    amap = TCAAddressMap(BASE)
+    assert (amap.block_region(0, BLOCK_GPU0).base
+            < amap.block_region(0, BLOCK_GPU1).base
+            < amap.block_region(0, BLOCK_HOST).base
+            < amap.block_region(0, BLOCK_INTERNAL).base)
+
+
+def test_global_address_decompose_roundtrip():
+    amap = TCAAddressMap(BASE)
+    for node, block, offset in ((0, 0, 0), (5, 2, 12345), (15, 3, 8 * GiB - 1)):
+        addr = amap.global_address(node, block, offset)
+        assert amap.decompose(addr) == (node, block, offset)
+
+
+def test_offset_bounds():
+    amap = TCAAddressMap(BASE)
+    with pytest.raises(AddressError):
+        amap.global_address(0, 0, 8 * GiB)
+
+
+def test_node_bounds():
+    amap = TCAAddressMap(BASE)
+    with pytest.raises(ConfigError):
+        amap.node_region(16)
+    with pytest.raises(ConfigError):
+        amap.node_region(-1)
+
+
+def test_contains():
+    amap = TCAAddressMap(BASE)
+    assert amap.contains(BASE)
+    assert amap.contains(BASE + 512 * GiB - 1)
+    assert not amap.contains(BASE - 1)
+    assert not amap.contains(BASE + 512 * GiB)
+
+
+def test_decompose_outside_rejected():
+    amap = TCAAddressMap(BASE)
+    with pytest.raises(AddressError):
+        amap.decompose(BASE - 1)
+
+
+def test_misaligned_base_rejected():
+    with pytest.raises(ConfigError, match="aligned"):
+        TCAAddressMap(BASE + 4096)
+
+
+def test_inconsistent_geometry_rejected():
+    with pytest.raises(ConfigError):
+        TCAAddressMap(BASE, node_stride=32 * GiB, block_size=4 * GiB)
+
+
+def test_node_mask_isolates_upper_bits():
+    amap = TCAAddressMap(BASE)
+    mask = amap.node_mask()
+    addr = amap.global_address(7, 2, 999)
+    assert addr & mask == amap.node_region(7).base

@@ -1,0 +1,79 @@
+"""Tests for the flag-pool notification abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.tca.comm import TCAComm
+from repro.tca.notify import FlagPool
+
+
+@pytest.fixture
+def pool(cluster2):
+    return FlagPool(cluster2, TCAComm(cluster2), num_flags=8)
+
+
+def test_flag_range_validated(pool):
+    with pytest.raises(ConfigError):
+        pool.global_address(0, 8)
+    with pytest.raises(ConfigError):
+        FlagPool(pool.cluster, pool.comm, num_flags=0)
+
+
+def test_sequences_monotonic(pool):
+    assert pool.next_sequence(1, 0) == 1
+    assert pool.next_sequence(1, 0) == 2
+    assert pool.next_sequence(1, 1) == 1  # independent per flag
+
+
+def test_signal_and_wait(pool, cluster2):
+    engine = cluster2.engine
+    sequence = pool.signal(src_node=0, dst_node=1, flag=3)
+
+    def waiter():
+        tsc = yield engine.process(pool.wait(1, 3, sequence))
+        return tsc
+
+    tsc = engine.run_process(waiter())
+    assert tsc > 0
+
+
+def test_flag_arrives_after_payload(pool, cluster2):
+    """PCIe ordering: when the flag is visible, the payload is too."""
+    comm = pool.comm
+    engine = cluster2.engine
+    data = np.random.default_rng(3).integers(0, 256, 1024, dtype=np.uint8)
+    dst_off = cluster2.driver(1).dma_buffer(0)
+    dst = comm.host_global(1, dst_off)
+
+    def sender():
+        yield engine.process(comm.put_pio_timed(0, dst, data))
+        pool.signal(0, 1, 0)
+
+    def receiver():
+        yield engine.process(pool.wait(1, 0, 1))
+        got = cluster2.driver(1).read_dma_buffer(0, 1024)
+        assert np.array_equal(got, data), "flag passed the payload!"
+        return True
+
+    engine.process(sender())
+    assert engine.run_process(receiver())
+
+
+def test_repeated_rounds(pool, cluster2):
+    engine = cluster2.engine
+
+    def rounds():
+        for _ in range(5):
+            sequence = pool.signal(0, 1, 2)
+            yield engine.process(pool.wait(1, 2, sequence))
+        return True
+
+    assert engine.run_process(rounds())
+
+
+def test_flags_live_outside_user_area(pool, cluster2):
+    """The pool must not collide with the usable DMA-buffer space."""
+    base = pool._base[0]
+    assert base + pool.region_bytes <= cluster2.driver(0).usable_dma_bytes
+    assert pool.global_address(0, 0) != pool.global_address(0, 1)

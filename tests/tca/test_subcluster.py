@@ -1,0 +1,77 @@
+"""Unit tests for sub-cluster assembly."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.node import NodeParams
+from repro.pcie.port import PortRole
+from repro.tca.subcluster import DUAL_RING, TCASubCluster
+
+
+def test_minimum_size():
+    with pytest.raises(ConfigError):
+        TCASubCluster(1)
+
+
+def test_maximum_sixteen_nodes():
+    with pytest.raises(ConfigError, match="16"):
+        TCASubCluster(17)
+
+
+def test_unknown_topology():
+    with pytest.raises(ConfigError):
+        TCASubCluster(4, topology="mesh")
+
+
+def test_dual_ring_needs_even_count():
+    with pytest.raises(ConfigError):
+        TCASubCluster(5, topology=DUAL_RING)
+
+
+def test_ring_cabling(cluster4):
+    for i in range(4):
+        chip = cluster4.board(i).chip
+        assert chip.port_e.connected
+        assert chip.port_w.connected
+        assert not chip.port_s.connected
+        assert chip.port_n.connected
+    assert cluster4.rings() == [[0, 1, 2, 3]]
+
+
+def test_shared_address_map(cluster4):
+    bases = {cluster4.board(i).chip.bar4.base for i in range(4)}
+    assert len(bases) == 1
+    assert cluster4.address_map.base in bases
+
+
+def test_identity_registers_programmed(cluster4):
+    for i in range(4):
+        regs = cluster4.board(i).chip.regs
+        assert regs.node_id == i
+        assert regs.tca_base == cluster4.address_map.base
+
+
+def test_block_bases_point_at_devices(cluster4):
+    node = cluster4.node(1)
+    regs = cluster4.board(1).chip.regs
+    assert regs.block_base(0) == node.gpus[0].bar1.base
+    assert regs.block_base(1) == node.gpus[1].bar1.base
+    assert regs.block_base(2) == 0
+    assert regs.block_base(3) == cluster4.board(1).chip.bar2.base
+
+
+def test_dual_ring_assembly():
+    cluster = TCASubCluster(8, topology=DUAL_RING,
+                            node_params=NodeParams(num_gpus=1))
+    assert cluster.rings() == [[0, 1, 2, 3], [4, 5, 6, 7]]
+    for i in range(8):
+        assert cluster.board(i).chip.port_s.connected
+    # Complementary S roles: ring A EP, ring B RC.
+    assert cluster.board(0).chip.port_s.role is PortRole.EP
+    assert cluster.board(4).chip.port_s.role is PortRole.RC
+
+
+def test_drivers_and_cuda_per_node(cluster2):
+    assert len(cluster2.drivers) == 2
+    assert len(cluster2.cuda) == 2
+    assert cluster2.driver(0).node is cluster2.node(0)
