@@ -4,17 +4,26 @@ Usage::
 
     python -m repro.bench <experiment> [...]
     tca-bench --list
-    tca-bench all
+    tca-bench all --json
+    tca-bench latency --trace trace.json --metrics metrics.json
+
+``--trace`` / ``--metrics`` run the experiments under an observability
+session (see :mod:`repro.obs`): every engine the experiments build gets a
+tracer and a metrics registry, and the union is exported afterwards — a
+Perfetto-loadable trace-event file and a per-engine metrics document.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 from typing import Callable, Dict
 
 from repro.bench import experiments
 from repro.bench.series import SweepTable
+from repro.errors import ReproError
 
 EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "table1": experiments.table1,
@@ -58,6 +67,15 @@ def render(result: object, chart: bool = False) -> str:
     return str(result)
 
 
+def to_payload(result: object) -> object:
+    """JSON-friendly form of one experiment's result."""
+    if isinstance(result, SweepTable):
+        return result.to_dict()
+    if isinstance(result, dict):
+        return result
+    return {"text": str(result)}
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -70,6 +88,13 @@ def main(argv=None) -> int:
                         help="list available experiments")
     parser.add_argument("--chart", action="store_true",
                         help="also render sweeps as ASCII charts")
+    parser.add_argument("--json", action="store_true",
+                        help="emit results as a JSON document on stdout")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Perfetto trace-event JSON file")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write collected metrics (JSON; text for "
+                             "paths not ending in .json)")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -80,13 +105,60 @@ def main(argv=None) -> int:
 
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
-    for name in names:
-        runner = EXPERIMENTS.get(name)
-        if runner is None:
-            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
-            return 2
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        for name in unknown:
+            print(f"unknown experiment {name!r}; use --list",
+                  file=sys.stderr)
+        return 2
+
+    obs = None
+    session = contextlib.nullcontext()
+    if args.trace or args.metrics:
+        from repro.obs import Observability
+
+        obs = Observability()
+        session = obs.session()
+
+    results: Dict[str, object] = {}
+    with session:
+        for name in names:
+            try:
+                results[name] = EXPERIMENTS[name]()
+            except ReproError as exc:
+                print(f"error: {name}: {exc}", file=sys.stderr)
+                return 1
+
+    if obs is not None:
+        try:
+            if args.trace:
+                obs.write_trace(args.trace)
+                print(f"trace: {obs.total_records} events -> {args.trace}"
+                      + (f" ({obs.total_dropped} dropped)"
+                         if obs.total_dropped else ""),
+                      file=sys.stderr)
+            if args.metrics:
+                if args.metrics.endswith(".json"):
+                    obs.write_metrics(args.metrics)
+                else:
+                    with open(args.metrics, "w", encoding="utf-8") as fh:
+                        fh.write(obs.render_metrics() + "\n")
+                print(f"metrics -> {args.metrics}", file=sys.stderr)
+        except OSError as exc:
+            print(f"error: cannot write observability output: {exc}",
+                  file=sys.stderr)
+            return 1
+
+    if args.json:
+        payload = {name: to_payload(result)
+                   for name, result in results.items()}
+        json.dump(payload, sys.stdout, indent=2, default=str)
+        print()
+        return 0
+
+    for name, result in results.items():
         print(f"==== {name} ====")
-        print(render(runner(), chart=args.chart))
+        print(render(result, chart=args.chart))
         print()
     return 0
 

@@ -133,7 +133,9 @@ class TwoNodeRig:
                                      node_params=NodeParams(num_gpus=2))
         self.engine = self.cluster.engine
         self.comm = TCAComm(self.cluster)
-        self._gpu_global = None
+        # Keyed on nbytes: a cached buffer pinned for a smaller request
+        # must not be handed out for a larger one.
+        self._gpu_global = {}
 
     def remote_cpu_target(self, offset: int = 0) -> int:
         """TCA-global address of node 1's DMA buffer."""
@@ -142,10 +144,10 @@ class TwoNodeRig:
 
     def remote_gpu_target(self, nbytes: int = 12 * MiB) -> int:
         """TCA-global address of a pinned GPU buffer on node 1."""
-        if self._gpu_global is None:
+        if nbytes not in self._gpu_global:
             ptr = self.cluster.cuda[1].cu_mem_alloc(0, nbytes)
-            self._gpu_global = self.comm.register_gpu_memory(1, ptr)
-        return self._gpu_global
+            self._gpu_global[nbytes] = self.comm.register_gpu_memory(1, ptr)
+        return self._gpu_global[nbytes]
 
     def internal_src(self, offset: int = 0) -> int:
         """Node 0's PEACH2 internal memory (remote DMA-write source)."""

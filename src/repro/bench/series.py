@@ -59,6 +59,16 @@ class SweepTable:
         seen = sorted({x for s in self.series.values() for x, _ in s.points})
         return seen
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form (``tca-bench --json``)."""
+        return {
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": {label: [[x, y] for x, y in s.points]
+                       for label, s in self.series.items()},
+        }
+
     def render(self) -> str:
         """Fixed-width table: one row per x, one column per series."""
         labels = list(self.series)

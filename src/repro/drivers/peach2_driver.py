@@ -135,6 +135,9 @@ class PEACH2Driver:
         self._irq_signals[channel] = done
         doorbell = self.chip.bar0.base + RegisterFile.dma_offset(
             channel, DMA_REG_DOORBELL)
+        if self.engine.tracer is not None:
+            self.engine.trace(f"{self.node.name}.driver", "doorbell",
+                              channel=channel, chip=self.chip.name)
         self.node.cpu.store_u32(doorbell, 1)
         return done
 
@@ -168,6 +171,12 @@ class PEACH2Driver:
             self.spurious_interrupts += 1
             return
         self._irq_signals[channel] = None
+        if self.engine.tracer is not None:
+            self.engine.trace(f"{self.node.name}.driver", "irq-complete",
+                              channel=channel, chip=self.chip.name)
+        if self.engine.metrics is not None:
+            self.engine.metrics.counter(
+                f"driver.{self.node.name}.irqs").inc()
         signal.fire(self.node.cpu.read_tsc())
 
     # -- polling (used by the PIO latency experiment, §IV-B1) ---------------------------

@@ -50,6 +50,9 @@ class CPU(Device):
             self.interrupts_received += 1
             vector = int.from_bytes(tlp.payload.tobytes(), "little")
             self.engine.trace(self.name, "msi", vector=vector)
+            if self.engine.metrics is not None:
+                self.engine.metrics.counter(
+                    f"cpu.{self.name}.interrupts").inc()
             handler = self._irq_handlers.get(vector)
             if handler is not None:
                 handler(vector)
@@ -69,7 +72,13 @@ class CPU(Device):
         latency, so back-to-back stores pipeline like real write-combining
         doesn't — PEACH2 PIO uses small independent stores (§III-F).
         """
-        self.port.send(make_write(address, np.asarray(data, dtype=np.uint8),
+        data = np.asarray(data, dtype=np.uint8)
+        if self.engine.tracer is not None:
+            self.engine.trace(self.name, "pio-store", addr=address,
+                              bytes=len(data))
+        if self.engine.metrics is not None:
+            self.engine.metrics.counter(f"cpu.{self.name}.pio_stores").inc()
+        self.port.send(make_write(address, data,
                                   requester_id=self.device_id))
 
     def store_u32(self, address: int, value: int) -> None:

@@ -124,6 +124,12 @@ class HostMemory(Device):
     def _commit(self, offset: int, payload: np.ndarray) -> None:
         self.store.write(offset, payload)
         self.bytes_written += len(payload)
+        if self.engine.tracer is not None:
+            self.engine.trace(self.name, "mem-commit", offset=offset,
+                              bytes=len(payload))
+        if self.engine.metrics is not None:
+            self.engine.metrics.counter(
+                f"mem.{self.name}.bytes_written").inc(len(payload))
 
     def _serve_read(self, request: TLP):
         yield self._readers.acquire()

@@ -1,0 +1,37 @@
+"""repro.obs — cross-cutting observability for the simulated fabric.
+
+Four pieces, layered on the :class:`repro.sim.trace.Tracer` hook that
+every component already funnels through:
+
+* :mod:`repro.obs.events` — the structured-event taxonomy (kind names);
+* :mod:`repro.obs.metrics` — counters, time-weighted gauges, histograms;
+* :mod:`repro.obs.attribution` — decompose a measured interval into named
+  segments (the Fig. 10 / Fig. 9 latency budgets);
+* :mod:`repro.obs.exporters` — Chrome/Perfetto trace JSON + metrics dumps.
+
+:class:`Observability` ties them together; the bench CLI exposes it as
+``tca-bench <exp> --trace out.json --metrics out.json``.  Disabled-path
+cost at every instrumentation site is one attribute check (``engine.tracer
+is None`` / ``engine.metrics is None``), so paper numbers are unchanged.
+"""
+
+from repro.obs.attribution import (AttributionError, Segment, attribute_dma,
+                                   attribute_pio, pio_reference_budget,
+                                   render, total_ps)
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.session import Observability
+
+__all__ = [
+    "AttributionError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Segment",
+    "attribute_dma",
+    "attribute_pio",
+    "pio_reference_budget",
+    "render",
+    "total_ps",
+]

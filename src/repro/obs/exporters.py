@@ -1,0 +1,140 @@
+"""Exporters: Chrome/Perfetto trace-event JSON and metrics dumps.
+
+The trace exporter emits the `Trace Event Format`_ understood by
+``chrome://tracing`` and https://ui.perfetto.dev: each simulation engine
+becomes a *process* (pid), each emitting component a *thread* (tid), span
+records become complete ("X") events and everything else instant ("i")
+events.  Timestamps are microseconds (the format's unit) converted from
+the engine's integer picoseconds.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.attribution import Segment
+from repro.sim.trace import TraceRecord
+
+_PS_PER_US = 1_000_000.0
+
+#: Perfetto sorts same-name tracks by tid; keep attribution on top.
+ATTRIBUTION_TRACK = "latency-attribution"
+
+
+def _ts_us(time_ps: int) -> float:
+    return time_ps / _PS_PER_US
+
+
+def _args(detail: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: (v if isinstance(v, (int, float, bool, str)) else str(v))
+            for k, v in detail.items()}
+
+
+class _TidAllocator:
+    """Stable component -> tid mapping in first-seen order."""
+
+    def __init__(self) -> None:
+        self._tids: Dict[str, int] = {}
+        self.metadata: List[dict] = []
+
+    def tid(self, pid: int, component: str) -> int:
+        tid = self._tids.get(component)
+        if tid is None:
+            tid = len(self._tids) + 1
+            self._tids[component] = tid
+            self.metadata.append({
+                "ph": "M", "pid": pid, "tid": tid,
+                "name": "thread_name", "args": {"name": component},
+            })
+        return tid
+
+
+def record_events(records: Iterable[TraceRecord], pid: int,
+                  tids: Optional[_TidAllocator] = None) -> List[dict]:
+    """Trace-event dicts for one engine's records."""
+    tids = tids or _TidAllocator()
+    out: List[dict] = []
+    for r in records:
+        tid = tids.tid(pid, r.component)
+        dur_ps = r.detail.get("dur_ps")
+        if dur_ps:
+            out.append({"ph": "X", "pid": pid, "tid": tid, "name": r.kind,
+                        "ts": _ts_us(r.start_ps), "dur": _ts_us(dur_ps),
+                        "args": _args(r.detail)})
+        else:
+            out.append({"ph": "i", "pid": pid, "tid": tid, "name": r.kind,
+                        "ts": _ts_us(r.time_ps), "s": "t",
+                        "args": _args(r.detail)})
+    out.extend(tids.metadata)
+    return out
+
+
+def segment_events(segments: Sequence[Segment], pid: int,
+                   tid: int = 0) -> List[dict]:
+    """A latency-attribution track: one complete event per segment."""
+    out: List[dict] = [{
+        "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+        "args": {"name": ATTRIBUTION_TRACK},
+    }]
+    for seg in segments:
+        out.append({"ph": "X", "pid": pid, "tid": tid, "name": seg.name,
+                    "ts": _ts_us(seg.start_ps), "dur": _ts_us(seg.dur_ps),
+                    "args": {"component": seg.component,
+                             "dur_ns": seg.dur_ps / 1000.0}})
+    return out
+
+
+def perfetto_trace(engines: Sequence[tuple]) -> Dict[str, Any]:
+    """Build the full trace document.
+
+    ``engines`` is a sequence of ``(label, records, segments)`` triples —
+    one per simulation engine; ``segments`` may be None/empty when no
+    latency attribution applies to that engine.
+    """
+    events: List[dict] = []
+    for pid, (label, records, segments) in enumerate(engines, start=1):
+        events.append({"ph": "M", "pid": pid, "tid": 0,
+                       "name": "process_name", "args": {"name": label}})
+        tids = _TidAllocator()
+        if segments:
+            events.extend(segment_events(segments, pid, tid=0))
+        events.extend(record_events(records, pid, tids))
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_perfetto(path: str, engines: Sequence[tuple]) -> None:
+    """Write the Perfetto-loadable JSON trace to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(perfetto_trace(engines), fh, indent=1)
+
+
+def metrics_document(engines: Sequence[tuple]) -> Dict[str, Any]:
+    """Metrics dump: ``{"engines": [{"label", "now_ps", "metrics"}...]}``.
+
+    ``engines`` is a sequence of ``(label, registry, now_ps)`` triples.
+    """
+    return {"engines": [
+        {"label": label, "now_ps": now_ps,
+         "metrics": registry.to_dict(now_ps)}
+        for label, registry, now_ps in engines
+    ]}
+
+
+def write_metrics(path: str, engines: Sequence[tuple]) -> None:
+    """Write the metrics JSON document to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics_document(engines), fh, indent=1)
+
+
+def render_metrics(engines: Sequence[tuple]) -> str:
+    """Text rendering of every engine's registry (terminal dump)."""
+    blocks = []
+    for label, registry, now_ps in engines:
+        text = registry.render_text(now_ps)
+        blocks.append(f"== {label} (t={now_ps / 1000:.3f} ns) ==\n{text}"
+                      if text else f"== {label} == (no metrics)")
+    return "\n\n".join(blocks)

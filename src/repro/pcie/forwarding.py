@@ -47,13 +47,21 @@ class EgressQueue:
         self._injection_waiters = []  # (signal, tlp) FIFO
         engine.process(self._emitter(), name=f"{self.name}.emit")
 
+    def _sample_depth(self) -> None:
+        """Time-weighted egress depth sample (cheap no-op when metrics off)."""
+        if self.engine.metrics is not None:
+            self.engine.metrics.gauge(
+                f"egress.{self.name}.depth").set(len(self.store))
+
     def submit(self, tlp: TLP) -> Signal:
         """Hand a transit/ejection packet to the egress stage.
 
         The returned signal fires when the packet is *accepted* (queued);
         a full queue delays it — that is the backpressure edge.
         """
-        return self.store.put((self.engine.now_ps, tlp))
+        accepted = self.store.put((self.engine.now_ps, tlp))
+        self._sample_depth()
+        return accepted
 
     def submit_injection(self, tlp: TLP) -> Signal:
         """Inject a new packet into a ring direction (bubble rule).
@@ -65,6 +73,7 @@ class EgressQueue:
         accepted = self.engine.signal(f"{self.name}.inject")
         if not self._injection_waiters and self._has_bubble():
             self.store.put((self.engine.now_ps, tlp))
+            self._sample_depth()
             accepted.fire()
         else:
             self.injections_held += 1
@@ -79,11 +88,13 @@ class EgressQueue:
         while self._injection_waiters and self._has_bubble():
             accepted, tlp = self._injection_waiters.pop(0)
             self.store.put((self.engine.now_ps, tlp))
+            self._sample_depth()
             accepted.fire()
 
     def _emitter(self):
         while True:
             enqueued_ps, tlp = yield self.store.get()
+            self._sample_depth()
             self._admit_injections()
             # Let the pipeline latency elapse relative to ingress time.
             target = enqueued_ps + self.residual_latency_ps

@@ -77,9 +77,20 @@ class _Direction:
         while True:
             tlp = yield self.tx.get()
             yield self.credits.acquire()
-            yield transfer_ps(tlp.wire_bytes, bytes_per_ps)
+            if self.engine.metrics is not None:
+                self.engine.metrics.gauge(f"link.{self.name}.busy").set(1)
+            serialize_ps = transfer_ps(tlp.wire_bytes, bytes_per_ps)
+            yield serialize_ps
             self.bytes_carried += tlp.wire_bytes
             self.tlps_carried += 1
+            if self.engine.tracer is not None:
+                self.engine.trace(self.name, "link-tx", dur_ps=serialize_ps,
+                                  bytes=tlp.wire_bytes, tlp=tlp.kind.value)
+            if self.engine.metrics is not None:
+                metrics = self.engine.metrics
+                metrics.gauge(f"link.{self.name}.busy").set(0)
+                metrics.counter(f"link.{self.name}.tlps").inc()
+                metrics.counter(f"link.{self.name}.bytes").inc(tlp.wire_bytes)
             self.engine.after(self.params.latency_ps, self._deliver, tlp)
 
     def _deliver(self, tlp: TLP) -> None:

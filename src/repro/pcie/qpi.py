@@ -68,6 +68,12 @@ class QPIBridge(Device):
         # Serialize the crossing at the traffic class's occupancy; a full
         # egress (stalled far side) backpressures the ingress.
         yield gap_ps
+        cls = "p2p" if gap_ps == self.params.p2p_gap_ps else "cpu"
+        if self.engine.tracer is not None:
+            self.engine.trace(self.name, "qpi-cross", cls=cls,
+                              tlp=tlp.kind.value)
+        if self.engine.metrics is not None:
+            self.engine.metrics.counter(f"qpi.{self.name}.{cls}_tlps").inc()
         accepted = self._egress[id(out)].submit(tlp)
         if not accepted.fired:
             yield accepted

@@ -91,6 +91,11 @@ class PCIeSwitch(Device):
     def _ingest(self, out: Port, tlp: TLP):
         yield self.params.issue_interval_ps
         self.tlps_forwarded += 1
+        if self.engine.tracer is not None:
+            self.engine.trace(self.name, "switch-forward",
+                              tlp=tlp.kind.value, out=out.name)
+        if self.engine.metrics is not None:
+            self.engine.metrics.counter(f"switch.{self.name}.forwarded").inc()
         accepted = self._egress[id(out)].submit(tlp)
         if not accepted.fired:
             yield accepted

@@ -224,6 +224,8 @@ class PEACH2Chip(Device):
         self.engine.trace(self.name, "route", tlp=tlp.kind.value,
                           addr=hex(tlp.address), out=out.name,
                           translated=translated is not None)
+        if self.engine.metrics is not None:
+            self.engine.metrics.counter(f"peach2.{self.name}.routed").inc()
         if translated is not None:
             tlp = TLP(tlp.kind, address=translated, length=tlp.length,
                       payload=tlp.payload, requester_id=tlp.requester_id,

@@ -124,6 +124,7 @@ class DMAController:
             take = min(count - fetched, self.calib.dma_desc_fetch_batch)
             addr = table_addr + fetched * DESCRIPTOR_BYTES
             nbytes = take * DESCRIPTOR_BYTES
+            fetch_start_ps = self.engine.now_ps
             if self.chip.is_internal_address(addr, nbytes):
                 yield self.calib.internal_read_latency_ps
                 raw = self.chip.internal.read(self.chip.internal_offset(addr),
@@ -135,6 +136,11 @@ class DMAController:
                                            tag=tag))
                 data = yield done  # fetch acceptance folded into the RTT
                 raw = np.frombuffer(data, dtype=np.uint8)
+            if self.engine.tracer is not None:
+                self.engine.trace(
+                    self.chip.name, "desc-fetch", channel=channel,
+                    dur_ps=self.engine.now_ps - fetch_start_ps,
+                    count=take)
             for desc in decode_table(raw, take):
                 queue.put(desc)
             fetched += take
@@ -142,6 +148,7 @@ class DMAController:
     # -- chain execution --------------------------------------------------------------
 
     def _run_chain(self, channel: int, done: Signal):
+        chain_start_ps = self.engine.now_ps
         yield self.calib.dma_engine_start_ps
         queue = Store(self.engine, name=f"{self.chip.name}.dma{channel}.q")
         self.engine.process(self._fetch_table(channel, queue),
@@ -156,6 +163,9 @@ class DMAController:
                 aborted = True
                 break
             desc = yield queue.get()
+            if self.engine.tracer is not None:
+                self.engine.trace(self.chip.name, "desc-exec",
+                                  channel=channel, bytes=desc.length)
             # Stage 1: descriptor setup, overlapped with the previous
             # descriptor's streaming (two-stage pipeline).
             yield self.calib.dma_desc_setup_ps
@@ -193,6 +203,11 @@ class DMAController:
         self.chains_completed += 1
         self.engine.trace(self.chip.name, "dma-done", channel=channel,
                           aborted=aborted)
+        if self.engine.metrics is not None:
+            metrics = self.engine.metrics
+            metrics.counter(f"dma.{self.chip.name}.chains").inc()
+            metrics.histogram(f"dma.{self.chip.name}.chain_ns").observe(
+                (self.engine.now_ps - chain_start_ps) / 1000.0)
         self._raise_interrupt(channel)
         done.fire(channel)
 

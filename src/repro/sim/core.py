@@ -164,6 +164,25 @@ class Process:
         return f"Process({self.name!r}, {state})"
 
 
+#: Callbacks invoked with every newly constructed :class:`Engine`.  An
+#: observability session registers one to install its tracer/metrics on
+#: each engine the experiments create (see :mod:`repro.obs.session`).
+_engine_observers: List[Callable[["Engine"], None]] = []
+
+
+def register_engine_observer(callback: Callable[["Engine"], None]) -> None:
+    """Call ``callback(engine)`` for every Engine constructed from now on."""
+    _engine_observers.append(callback)
+
+
+def unregister_engine_observer(callback: Callable[["Engine"], None]) -> None:
+    """Remove a previously registered engine observer (no-op if absent)."""
+    try:
+        _engine_observers.remove(callback)
+    except ValueError:
+        pass
+
+
 class Engine:
     """The event loop: an integer-picosecond heap scheduler."""
 
@@ -175,6 +194,12 @@ class Engine:
         #: Optional observability hook (repro.sim.trace.Tracer); hardware
         #: models emit routing/DMA/IRQ events through it when set.
         self.tracer = None
+        #: Optional metrics hook (repro.obs.metrics.MetricsRegistry);
+        #: components sample counters/gauges through it when set.  Like
+        #: the tracer, a ``None`` check is the whole disabled-path cost.
+        self.metrics = None
+        for callback in list(_engine_observers):
+            callback(self)
 
     def trace(self, component: str, kind: str, **detail: Any) -> None:
         """Emit a trace event if a tracer is installed (cheap when not)."""

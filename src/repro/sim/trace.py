@@ -2,7 +2,13 @@
 
 Hardware models call :meth:`Tracer.emit` at interesting moments (TLP sent,
 descriptor fetched, interrupt raised...).  Tracing is off by default and
-costs one attribute check per call site when disabled.
+costs one attribute check per call site when disabled — a disabled tracer
+does **no** work at all, not even counting.
+
+Span convention: a record whose ``detail`` carries ``dur_ps`` describes an
+interval that *ended* at ``time_ps`` after lasting ``dur_ps`` picoseconds
+(components emit once the modelled work completes).  Exporters and the
+latency-attribution walker in :mod:`repro.obs` rely on this.
 """
 
 from __future__ import annotations
@@ -21,6 +27,11 @@ class TraceRecord:
     kind: str
     detail: Dict[str, Any] = field(default_factory=dict)
 
+    @property
+    def start_ps(self) -> int:
+        """Interval start for span records (``time_ps`` for instants)."""
+        return self.time_ps - int(self.detail.get("dur_ps", 0))
+
     def __str__(self) -> str:
         items = " ".join(f"{k}={v}" for k, v in self.detail.items())
         return f"[{self.time_ps / 1000:12.3f}ns] {self.component}: {self.kind} {items}"
@@ -34,24 +45,30 @@ class Tracer:
         self.max_records = max_records
         self.records: List[TraceRecord] = []
         self.counters: Counter = Counter()
+        #: Records rejected because :attr:`max_records` was reached.  The
+        #: per-kind counters keep counting past the cap, so a nonzero value
+        #: here flags that ``records`` is an incomplete window.
+        self.dropped = 0
 
     def emit(self, time_ps: int, component: str, kind: str, **detail: Any) -> None:
-        """Record one event (no-op unless enabled, but always counts)."""
-        self.counters[kind] += 1
+        """Record one event (a strict no-op when disabled)."""
         if not self.enabled:
             return
+        self.counters[kind] += 1
         if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
             return
         self.records.append(TraceRecord(time_ps, component, kind, detail))
 
     def count(self, kind: str) -> int:
-        """Number of events of ``kind`` seen so far."""
+        """Number of events of ``kind`` seen so far (while enabled)."""
         return self.counters[kind]
 
     def clear(self) -> None:
-        """Drop all records and counters."""
+        """Drop all records, counters and the dropped tally."""
         self.records.clear()
         self.counters.clear()
+        self.dropped = 0
 
     def dump(self) -> str:
         """All records as a newline-joined string (for debugging)."""

@@ -90,6 +90,9 @@ class TCAComm:
         """
         cpu = self.cluster.node(src_node).cpu
         data = np.ascontiguousarray(data, dtype=np.uint8)
+        if self.engine.tracer is not None:
+            self.engine.trace("tca.comm", "tca-put", transport="pio",
+                              src_node=src_node, bytes=len(data))
         for start in range(0, len(data), 8):
             cpu.store(dst_global + start, data[start:start + 8])
 
@@ -157,6 +160,10 @@ class TCAComm:
         driver = self.cluster.driver(src_node)
         elapsed = yield self.engine.process(
             driver.run_chain(channel, chain), name="tca.put_dma")
+        if self.engine.tracer is not None:
+            self.engine.trace("tca.comm", "tca-put", transport="dma",
+                              src_node=src_node, bytes=nbytes,
+                              dur_ps=elapsed)
         return elapsed
 
     def put_dma_pipelined(self, src_node: int, src_local: int,
@@ -174,6 +181,10 @@ class TCAComm:
         chain = [DMADescriptor(src_local, dst_global, nbytes)]
         elapsed = yield self.engine.process(
             driver.run_chain(channel, chain), name="tca.put_dma_pipelined")
+        if self.engine.tracer is not None:
+            self.engine.trace("tca.comm", "tca-put",
+                              transport="dma-pipelined", src_node=src_node,
+                              bytes=nbytes, dur_ps=elapsed)
         return elapsed
 
     # -- block-stride transfers (§III-H) ------------------------------------------------

@@ -1,0 +1,94 @@
+"""Latency attribution against real instrumented runs.
+
+The acceptance bar: the PIO decomposition's segments partition the
+measured interval, so they sum *exactly* to the 782 ns the loopback rig
+reports, and each segment matches its calibration anchor.
+"""
+
+import pytest
+
+from repro.bench.harness import SingleNodeRig
+from repro.bench.loopback import LoopbackRig
+from repro.model.calibration import CALIB
+from repro.obs import (AttributionError, Observability, attribute_dma,
+                       attribute_pio, pio_reference_budget, render, total_ps)
+from repro.obs.attribution import (SEG_CABLE_HOP, SEG_MEM_COMMIT,
+                                   SEG_ROUTING, SEG_STORE_ISSUE,
+                                   SEG_UNATTRIBUTED)
+from repro.sim.core import Engine
+
+
+@pytest.fixture
+def traced_loopback():
+    obs = Observability()
+    with obs.session():
+        rig = LoopbackRig()
+    latency_ns = rig.pio_commit_latency_ns()
+    return obs, rig, latency_ns
+
+
+def test_pio_segments_sum_to_measured_latency(traced_loopback):
+    obs, rig, latency_ns = traced_loopback
+    segments = attribute_pio(obs.tracer_for(rig.engine).records)
+    assert latency_ns == pytest.approx(782.0, abs=0.5)
+    assert total_ps(segments) == int(latency_ns * 1000)
+
+
+def test_pio_segments_match_calibration_anchors(traced_loopback):
+    obs, rig, _ = traced_loopback
+    segments = attribute_pio(obs.tracer_for(rig.engine).records)
+    by_name = {}
+    for seg in segments:
+        by_name.setdefault(seg.name, []).append(seg.dur_ps)
+
+    # Exactly one external cable crossing, at the calibrated cost.
+    assert by_name[SEG_CABLE_HOP] == [CALIB.cable_link_latency_ps]
+    # Both PEACH2 crossbars and both switch traversals show as routing.
+    assert CALIB.peach2_route_latency_ps in by_name[SEG_ROUTING]
+    assert CALIB.switch_forward_ps in by_name[SEG_ROUTING]
+    # The commit tail is the host memory controller's visibility delay.
+    assert by_name[SEG_MEM_COMMIT] == [CALIB.host_mem_write_commit_ps]
+    # The store-buffer drain rides on the CPU's internal link.
+    assert CALIB.cpu_store_issue_ps in by_name[SEG_STORE_ISSUE]
+    # Every interval got a name: nothing fell through the classifier.
+    assert SEG_UNATTRIBUTED not in by_name
+
+
+def test_pio_reference_budget_names_match_segments(traced_loopback):
+    obs, rig, _ = traced_loopback
+    segments = attribute_pio(obs.tracer_for(rig.engine).records)
+    seen = {seg.name for seg in segments}
+    for seg_name, const_name, ps in pio_reference_budget(CALIB):
+        assert seg_name in seen, f"{const_name} has no measured segment"
+        assert ps > 0
+
+
+def test_render_shows_total(traced_loopback):
+    obs, rig, latency_ns = traced_loopback
+    segments = attribute_pio(obs.tracer_for(rig.engine).records)
+    text = render(segments)
+    assert "total" in text
+    assert f"{latency_ns:.3f}" in text
+
+
+def test_attribution_requires_milestones():
+    with pytest.raises(AttributionError):
+        attribute_pio([])
+    with pytest.raises(AttributionError):
+        attribute_dma([])
+
+
+def test_dma_phases_sum_to_doorbell_to_irq_elapsed():
+    obs = Observability()
+    with obs.session():
+        rig = SingleNodeRig()
+    elapsed, _ = rig.measure("write", "cpu", 1024, count=8)
+    records = obs.tracer_for(rig.engine).records
+    segments = attribute_dma(records, channel=0)
+    assert [s.name for s in segments] == [
+        "doorbell", "descriptor-fetch", "data-stream",
+        "completion-interrupt"]
+    assert total_ps(segments) == elapsed
+    # Phases are contiguous: each starts where the previous ended.
+    for prev, nxt in zip(segments, segments[1:]):
+        assert prev.end_ps == nxt.start_ps

@@ -1,0 +1,83 @@
+"""Perfetto / metrics exporter schema tests."""
+
+import json
+
+from repro.bench.loopback import LoopbackRig
+from repro.obs import Observability
+from repro.obs.exporters import ATTRIBUTION_TRACK
+
+
+def _traced_run():
+    obs = Observability()
+    with obs.session():
+        rig = LoopbackRig()
+    rig.pio_commit_latency_ns()
+    return obs, rig
+
+
+def test_perfetto_document_schema():
+    obs, _ = _traced_run()
+    doc = obs.perfetto_trace()
+    assert doc["displayTimeUnit"] == "ns"
+    events = doc["traceEvents"]
+    assert events, "instrumented run produced no trace events"
+    for event in events:
+        assert event["ph"] in ("X", "i", "M")
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "X":  # complete event: needs ts + dur
+            assert event["dur"] >= 0
+            assert event["ts"] >= 0
+        if event["ph"] == "i":  # instant: needs a scope
+            assert event["s"] == "t"
+        if event["ph"] == "M":
+            assert event["name"] in ("process_name", "thread_name")
+    # The whole document is valid JSON (what Perfetto actually loads).
+    json.loads(json.dumps(doc))
+
+
+def test_perfetto_has_metadata_and_attribution_track():
+    obs, _ = _traced_run()
+    events = obs.perfetto_trace()["traceEvents"]
+    thread_names = {e["args"]["name"] for e in events
+                    if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert ATTRIBUTION_TRACK in thread_names
+    spans = [e for e in events if e["ph"] == "X"
+             and e.get("args", {}).get("dur_ns")]
+    assert any(e["name"] == "cable-hop" for e in spans)
+
+
+def test_span_ts_is_interval_start():
+    obs, _ = _traced_run()
+    events = obs.perfetto_trace()["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X" and e["name"] == "link-tx"]
+    assert spans
+    for span in spans:
+        # Engine stamps spans at their end; the exporter must rewind ts
+        # so Perfetto draws the bar over the actual interval.
+        assert span["ts"] >= 0
+        assert span["args"]["dur_ps"] > 0
+
+
+def test_write_trace_and_metrics_roundtrip(tmp_path):
+    obs, rig = _traced_run()
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    obs.write_trace(str(trace_path))
+    obs.write_metrics(str(metrics_path))
+
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+
+    metrics = json.loads(metrics_path.read_text())
+    engines = metrics["engines"]
+    assert engines and engines[0]["now_ps"] == rig.engine.now_ps
+    names = engines[0]["metrics"]
+    assert any(name.startswith("link.") for name in names)
+    assert any(name.startswith("cpu.") for name in names)
+
+
+def test_render_metrics_is_textual():
+    obs, _ = _traced_run()
+    text = obs.render_metrics()
+    assert "[counter]" in text and "[gauge]" in text

@@ -1,0 +1,54 @@
+"""Regression: instrumentation must not change any experiment number.
+
+Tracing and metrics are passive — they schedule no engine events — so an
+instrumented run must report *identical* picosecond results to a bare
+run.  These tests pin that on real Fig. 7/8 measurement cells and on the
+Fig. 10 PIO path.
+"""
+
+import pytest
+
+from repro.bench.harness import SingleNodeRig
+from repro.bench.loopback import LoopbackRig
+from repro.obs import Observability
+from repro.sim.core import Engine
+
+
+def _cell(op: str, target: str, size: int, instrumented: bool) -> int:
+    obs = Observability()
+    if instrumented:
+        with obs.session():
+            rig = SingleNodeRig()
+    else:
+        rig = SingleNodeRig()
+    elapsed, _ = rig.measure(op, target, size, count=32)
+    if instrumented:
+        assert obs.total_records > 0, "instrumented run traced nothing"
+    return elapsed
+
+
+@pytest.mark.parametrize("op,target,size", [
+    ("write", "cpu", 256),    # Fig. 7 small-message cell
+    ("write", "gpu", 4096),   # Fig. 8 peak cell
+    ("read", "cpu", 1024),    # Fig. 7 read curve
+])
+def test_instrumented_cells_are_cycle_exact(op, target, size):
+    assert _cell(op, target, size, False) == _cell(op, target, size, True)
+
+
+def test_instrumented_pio_latency_is_cycle_exact():
+    bare = LoopbackRig().pio_commit_latency_ns()
+    obs = Observability()
+    with obs.session():
+        rig = LoopbackRig()
+    assert rig.pio_commit_latency_ns() == bare
+
+
+def test_attach_only_sets_attributes():
+    engine = Engine()
+    before = engine.now_ps
+    Observability().attach(engine, label="probe")
+    assert engine.tracer is not None and engine.metrics is not None
+    assert engine.now_ps == before
+    engine.run()  # nothing scheduled by attaching
+    assert engine.now_ps == before

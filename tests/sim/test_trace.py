@@ -3,11 +3,13 @@
 from repro.sim.trace import Tracer
 
 
-def test_disabled_tracer_still_counts():
+def test_disabled_tracer_is_a_strict_noop():
     tracer = Tracer(enabled=False)
     tracer.emit(100, "link", "tlp-sent", bytes=280)
-    assert tracer.count("tlp-sent") == 1
+    assert tracer.count("tlp-sent") == 0
     assert tracer.records == []
+    assert tracer.counters == {}
+    assert tracer.dropped == 0
 
 
 def test_enabled_tracer_records():
@@ -19,19 +21,30 @@ def test_enabled_tracer_records():
     assert "tlp-sent" in str(tracer.records[0])
 
 
-def test_max_records_cap():
+def test_max_records_cap_counts_drops():
     tracer = Tracer(enabled=True, max_records=2)
     for i in range(5):
         tracer.emit(i, "c", "k")
     assert len(tracer.records) == 2
     assert tracer.count("k") == 5
+    assert tracer.dropped == 3
 
 
 def test_clear():
-    tracer = Tracer(enabled=True)
+    tracer = Tracer(enabled=True, max_records=1)
     tracer.emit(1, "c", "k")
+    tracer.emit(2, "c", "k")
     tracer.clear()
     assert tracer.records == [] and tracer.count("k") == 0
+    assert tracer.dropped == 0
+
+
+def test_span_records_expose_start():
+    tracer = Tracer(enabled=True)
+    tracer.emit(500, "link", "link-tx", dur_ps=120)
+    tracer.emit(600, "chip", "route")
+    assert tracer.records[0].start_ps == 380
+    assert tracer.records[1].start_ps == 600
 
 
 def test_dump_contains_all_lines():
