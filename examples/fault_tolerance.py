@@ -75,6 +75,21 @@ def main() -> None:
                         data)
     print(f"  8 KiB DMA put across the healed chain: verified={ok}")
 
+    print("\nautomatic recovery (NIOS watchdog, no operator):")
+    auto = TCASubCluster(6, node_params=NodeParams(num_gpus=1))
+    auto.enable_auto_heal()
+    auto.engine.at(1_000_000, lambda: auto.cut_ring_cable(2))
+
+    def until_healed():
+        while auto.heals_completed == 0:
+            yield 10_000_000
+
+    auto.engine.run_process(until_healed())
+    auto.disable_auto_heal()
+    print(f"  watchdog healed the ring in "
+          f"{auto.last_time_to_heal_ps / 1000.0:.0f} ns "
+          f"-> chain {auto.last_heal_chain}")
+
     print("\nthe NTB alternative (§V):")
     pair = NTBPair()
     pair.cut_cable()

@@ -11,6 +11,13 @@ Usage::
 session (see :mod:`repro.obs`): every engine the experiments build gets a
 tracer and a metrics registry, and the union is exported afterwards — a
 Perfetto-loadable trace-event file and a per-engine metrics document.
+
+``--fault-plan`` additionally arms a fault-injection plan (see
+:mod:`repro.faults`) on every engine: ``--fault-plan chaos:7`` runs the
+experiments over marginal links with a lost IRQ and a stuck doorbell,
+seeded deterministically.  Combined with ``--metrics``, the injected
+fault counts and every recovery counter (replays, NAKs, drops, IRQ
+timeouts) land in the metrics document.
 """
 
 from __future__ import annotations
@@ -95,6 +102,11 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics", metavar="PATH", default=None,
                         help="write collected metrics (JSON; text for "
                              "paths not ending in .json)")
+    parser.add_argument("--fault-plan", metavar="PLAN", default=None,
+                        help="arm a fault-injection plan on every engine: "
+                             "a preset (none, flaky-links, lost-irq, chaos),"
+                             " optionally NAME:SEED, or a JSON plan file "
+                             "(see docs/robustness.md)")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -113,21 +125,36 @@ def main(argv=None) -> int:
         return 2
 
     obs = None
-    session = contextlib.nullcontext()
     if args.trace or args.metrics:
         from repro.obs import Observability
 
         obs = Observability()
-        session = obs.session()
+
+    faults = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan, FaultSession
+
+        try:
+            faults = FaultSession(FaultPlan.parse(args.fault_plan))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     results: Dict[str, object] = {}
-    with session:
+    with contextlib.ExitStack() as stack:
+        if obs is not None:
+            stack.enter_context(obs.session())
+        if faults is not None:
+            stack.enter_context(faults.session())
         for name in names:
             try:
                 results[name] = EXPERIMENTS[name]()
             except ReproError as exc:
                 print(f"error: {name}: {exc}", file=sys.stderr)
                 return 1
+
+    if faults is not None:
+        print(faults.summary(), file=sys.stderr)
 
     if obs is not None:
         try:

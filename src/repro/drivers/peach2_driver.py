@@ -16,6 +16,7 @@ Responsibilities mirror the real driver:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -26,11 +27,13 @@ from repro.model.calibration import Calibration
 from repro.peach2.board import PEACH2Board
 from repro.peach2.descriptor import (DESCRIPTOR_BYTES, DMADescriptor,
                                      encode_table)
+from repro.peach2.dma import STATUS_ABORTED, STATUS_DONE, STATUS_IDLE
 from repro.peach2.registers import (DMA_REG_DESC_ADDR, DMA_REG_DESC_COUNT,
-                                    DMA_REG_DOORBELL, REG_MSI_ADDRESS,
-                                    REG_MSI_VECTOR, RegisterFile)
+                                    DMA_REG_DOORBELL, DMA_REG_STATUS,
+                                    REG_MSI_ADDRESS, REG_MSI_VECTOR,
+                                    RegisterFile)
 from repro.hw.cpu import MSI_REGION
-from repro.sim.core import Signal
+from repro.sim.core import Signal, first_of
 from repro.units import MiB
 
 #: First MSI vector used for DMA-channel completion interrupts.
@@ -38,6 +41,30 @@ DMA_IRQ_VECTOR_BASE = 32
 
 #: Size of the driver's contiguous DMA buffer.
 DMA_BUFFER_BYTES = 16 * MiB
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry knobs of the robust chain-submission path.
+
+    ``completion_timeout_ps`` is the wait for the *first* completion
+    interrupt; each further attempt multiplies it by ``backoff`` (so a
+    merely slow chain is given progressively more room instead of being
+    hammered).  ``max_attempts`` bounds the whole recovery before the
+    driver resets the channel and gives up with :class:`DriverError`.
+    """
+
+    completion_timeout_ps: int = 1_000_000_000  # 1 ms
+    max_attempts: int = 5
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.completion_timeout_ps <= 0:
+            raise DriverError("completion_timeout_ps must be positive")
+        if self.max_attempts < 1:
+            raise DriverError("max_attempts must be at least 1")
+        if self.backoff < 1.0:
+            raise DriverError("backoff must be >= 1.0")
 
 
 class PEACH2Driver:
@@ -66,6 +93,11 @@ class PEACH2Driver:
         # Route DMA-completion MSIs to per-channel handlers.
         self._irq_signals: Dict[int, Optional[Signal]] = {}
         self.spurious_interrupts = 0
+        # Recovery accounting (the robust run_chain_reliable path).
+        self.completion_timeouts = 0
+        self.lost_irqs_recovered = 0
+        self.doorbell_retries = 0
+        self.channel_resets = 0
         for channel in range(self.chip.params.num_dma_channels):
             vector = DMA_IRQ_VECTOR_BASE + channel
             node.cpu.register_irq_handler(
@@ -154,6 +186,118 @@ class PEACH2Driver:
         done = self.ring_doorbell(channel)
         end_tsc = yield done
         return end_tsc - start_tsc
+
+    # -- robust submission (timeout + bounded retry) -----------------------------
+
+    def read_dma_status(self, channel: int):
+        """Process: MMIO-read a channel's STATUS register.
+
+        A real non-posted read round trip to BAR0 — recovery polls cost
+        simulated time like they cost a real driver.
+        """
+        address = self.chip.bar0.base + RegisterFile.dma_offset(
+            channel, DMA_REG_STATUS)
+        data = yield self.node.cpu.load(address, 8)
+        return int.from_bytes(data, "little")
+
+    def _ring(self, channel: int) -> None:
+        """Re-issue the doorbell store for an already-pending chain.
+
+        Used by the retry path when the first doorbell never latched;
+        the completion signal allocated by :meth:`ring_doorbell` stays
+        in place, which makes resubmission idempotent.
+        """
+        doorbell = self.chip.bar0.base + RegisterFile.dma_offset(
+            channel, DMA_REG_DOORBELL)
+        if self.engine.tracer is not None:
+            self.engine.trace(f"{self.node.name}.driver", "doorbell-retry",
+                              channel=channel, chip=self.chip.name)
+        self.node.cpu.store_u32(doorbell, 1)
+
+    def reset_channel(self, channel: int) -> None:
+        """Recovery of last resort: abort the chain, clear IRQ bookkeeping.
+
+        After this the channel can accept a fresh :meth:`ring_doorbell`.
+        """
+        self.chip.dma.abort(channel)
+        self._irq_signals[channel] = None
+        self.channel_resets += 1
+        if self.engine.tracer is not None:
+            self.engine.trace(f"{self.node.name}.driver", "channel-reset",
+                              channel=channel, chip=self.chip.name)
+        if self.engine.metrics is not None:
+            self.engine.metrics.counter(
+                f"driver.{self.node.name}.channel_resets").inc()
+
+    def run_chain_reliable(self, channel: int,
+                           descriptors: Sequence[DMADescriptor],
+                           policy: Optional[RetryPolicy] = None):
+        """Process: :meth:`run_chain` hardened with timeout and retry.
+
+        Waits for the completion IRQ under a timeout.  On expiry the
+        driver polls the channel STATUS register over MMIO and acts on
+        what it finds:
+
+        * ``DONE``/``ABORTED`` — the chain finished but the MSI was lost;
+          complete from the poll (counted in ``lost_irqs_recovered``).
+        * ``IDLE`` — the doorbell never latched; ring it again
+          (idempotent: the table registers still hold the chain).
+        * ``RUNNING`` — merely slow; back off exponentially and rewait.
+
+        Returns the elapsed picoseconds from the first doorbell store to
+        the observed completion.  After ``policy.max_attempts`` the
+        channel is reset and :class:`DriverError` raised.
+        """
+        policy = policy or RetryPolicy()
+        self.write_chain(channel, descriptors)
+        start_tsc = self.node.cpu.read_tsc()
+        done = self.ring_doorbell(channel)
+        timeout_ps = policy.completion_timeout_ps
+        for _attempt in range(policy.max_attempts):
+            timer = self.engine.signal(
+                f"{self.chip.name}.irq{channel}.timeout")
+            timer.fire_after(timeout_ps)
+            index, value = yield first_of(self.engine, [done, timer])
+            if index == 0:
+                return value - start_tsc
+            self.completion_timeouts += 1
+            if self.engine.tracer is not None:
+                self.engine.trace(f"{self.node.name}.driver", "irq-timeout",
+                                  channel=channel, waited_ps=timeout_ps)
+            if self.engine.metrics is not None:
+                self.engine.metrics.counter(
+                    f"driver.{self.node.name}.irq_timeouts").inc()
+            status = yield self.engine.process(
+                self.read_dma_status(channel),
+                name=f"{self.node.name}.driver.status{channel}")
+            if done.fired:
+                # The interrupt raced our status poll; take the real one.
+                return done.value - start_tsc
+            if status in (STATUS_DONE, STATUS_ABORTED):
+                # Completed, but the MSI never arrived: recover from the
+                # status poll instead of waiting forever.
+                self.lost_irqs_recovered += 1
+                self._irq_signals[channel] = None
+                if self.engine.tracer is not None:
+                    self.engine.trace(f"{self.node.name}.driver",
+                                      "irq-recovered", channel=channel)
+                if self.engine.metrics is not None:
+                    self.engine.metrics.counter(
+                        f"driver.{self.node.name}.lost_irqs_recovered").inc()
+                return self.node.cpu.read_tsc() - start_tsc
+            if status == STATUS_IDLE:
+                # The doorbell write was swallowed; resubmit it.
+                self.doorbell_retries += 1
+                if self.engine.metrics is not None:
+                    self.engine.metrics.counter(
+                        f"driver.{self.node.name}.doorbell_retries").inc()
+                self._ring(channel)
+            # STATUS_RUNNING: give the chain more room next round.
+            timeout_ps = int(timeout_ps * policy.backoff)
+        self.reset_channel(channel)
+        raise DriverError(
+            f"{self.node.name}: channel {channel} chain did not complete "
+            f"after {policy.max_attempts} attempts")
 
     def _make_irq_handler(self, channel: int):
         def handler(_vector: int) -> None:

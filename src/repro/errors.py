@@ -23,6 +23,20 @@ class LinkError(PCIeError):
     """A link was used while down, or trained with incompatible port roles."""
 
 
+class CompletionTimeoutError(PCIeError):
+    """A non-posted request's completion did not arrive before the deadline.
+
+    Real root ports and endpoints arm a completion timeout per outstanding
+    read; when it expires the request is dropped and the error is surfaced
+    instead of the requester hanging forever.
+    """
+
+
+class FaultError(ReproError):
+    """Fault-injection framework misuse, or a scenario exceeding its
+    recovery budget (e.g. a chaos run that never converges)."""
+
+
 class ConfigError(ReproError):
     """Invalid static configuration (topology, registers, BIOS limits...)."""
 

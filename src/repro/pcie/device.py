@@ -11,7 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterator, Optional, Tuple
 
-from repro.errors import PCIeError, SimulationError
+from repro.errors import CompletionTimeoutError, PCIeError, SimulationError
 from repro.pcie.tlp import TLP, TLPKind
 from repro.sim.core import Engine, Signal
 
@@ -56,15 +56,29 @@ class TagPool:
     ``issue`` registers a pending read and returns the tag plus a signal
     that fires with the reassembled data once *all* completion bytes have
     arrived (a single MRd may legally be answered by several CplDs).
+
+    With ``completion_timeout_ps`` set, a read whose completion never
+    arrives raises :class:`CompletionTimeoutError` out of the engine run
+    instead of deadlocking the simulation — the PCIe completion-timeout
+    mechanism a faulted fabric (switch drop, dead cable) relies on.  The
+    default (``None``) schedules nothing, so un-faulted timing and the
+    event heap are untouched.
     """
 
     MAX_TAGS = 256  # 8-bit PCIe tag field
 
-    def __init__(self, engine: Engine, name: str = ""):
+    def __init__(self, engine: Engine, name: str = "",
+                 completion_timeout_ps: Optional[int] = None):
         self.engine = engine
         self.name = name
+        self.completion_timeout_ps = completion_timeout_ps
         self._next = 0
-        self._pending: Dict[int, Tuple[Signal, bytearray, int]] = {}
+        # Entry: (done, buffer, expected_bytes, issue_serial).  The serial
+        # distinguishes reuses of a tag so a stale timeout cannot kill a
+        # younger read that recycled the number.
+        self._pending: Dict[int, Tuple[Signal, bytearray, int, int]] = {}
+        self._serial = 0
+        self.timeouts = 0
 
     @property
     def outstanding(self) -> int:
@@ -83,8 +97,30 @@ class TagPool:
         else:  # pragma: no cover - guarded by the check above
             raise PCIeError(f"{self.name}: no free tag")
         done = self.engine.signal(f"{self.name}.read[{tag}]")
-        self._pending[tag] = (done, bytearray(), expected_bytes)
+        self._serial += 1
+        serial = self._serial
+        self._pending[tag] = (done, bytearray(), expected_bytes, serial)
+        if self.completion_timeout_ps is not None:
+            self.engine.after(self.completion_timeout_ps,
+                              self._expire, tag, serial)
         return tag, done
+
+    def _expire(self, tag: int, serial: int) -> None:
+        entry = self._pending.get(tag)
+        if entry is None or entry[3] != serial:
+            return  # completed in time (or the tag was reused since)
+        del self._pending[tag]
+        self.timeouts += 1
+        if self.engine.tracer is not None:
+            self.engine.trace(self.name, "completion-timeout", tag=tag)
+        if self.engine.metrics is not None:
+            self.engine.metrics.counter(
+                f"tags.{self.name}.completion_timeouts").inc()
+        # Raised from an engine callback, this propagates out of
+        # Engine.step()/run() to whoever drives the simulation.
+        raise CompletionTimeoutError(
+            f"{self.name}: no completion for tag {tag} within "
+            f"{self.completion_timeout_ps} ps")
 
     def complete(self, tlp: TLP) -> None:
         """Feed a CplD back; fires the signal when the read is whole."""
@@ -93,7 +129,7 @@ class TagPool:
         entry = self._pending.get(tlp.tag)
         if entry is None:
             raise PCIeError(f"{self.name}: completion for unknown tag {tlp.tag}")
-        done, buf, expected = entry
+        done, buf, expected, serial = entry
         buf.extend(tlp.payload.tobytes())
         if len(buf) > expected:
             raise PCIeError(

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.errors import LinkError
 from repro.pcie.port import Port
 from repro.pcie.tlp import TLP
 from repro.sim.core import Engine, Signal
@@ -43,6 +44,8 @@ class EgressQueue:
         self.name = name or f"{port.name}.egress"
         self.store = Store(engine, capacity=capacity, name=self.name)
         self.tlps_emitted = 0
+        #: Packets abandoned because the output link died (faulted runs).
+        self.tlps_dropped = 0
         self.injections_held = 0
         self._injection_waiters = []  # (signal, tlp) FIFO
         engine.process(self._emitter(), name=f"{self.name}.emit")
@@ -100,7 +103,25 @@ class EgressQueue:
             target = enqueued_ps + self.residual_latency_ps
             if target > self.engine.now_ps:
                 yield target - self.engine.now_ps
-            accepted = self.port.send(tlp)
+            try:
+                accepted = self.port.send(tlp)
+            except LinkError:
+                # The output link is down.  Without fault injection that
+                # is a configuration bug and must stay fatal; under an
+                # armed fault plan it is an injected cable failure, and a
+                # store-and-forward stage drops the packet (counted) so
+                # the fabric can keep moving and the healed route can
+                # carry the retry.
+                if self.engine.faults is None:
+                    raise
+                self.tlps_dropped += 1
+                if self.engine.tracer is not None:
+                    self.engine.trace(self.name, "egress-drop",
+                                      tlp=tlp.kind.value)
+                if self.engine.metrics is not None:
+                    self.engine.metrics.counter(
+                        f"egress.{self.name}.dropped").inc()
+                continue
             if not accepted.fired:
                 yield accepted
             self.tlps_emitted += 1

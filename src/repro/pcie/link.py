@@ -8,6 +8,19 @@ at the receiver).  A credit pool the size of the receiver's ingress buffer
 provides backpressure: when the far device stops draining, the transmitter
 stalls — exactly how posted-write flow control throttles a slow sink such
 as the QPI bridge.
+
+Data-link-layer reliability (exercised only under fault injection, see
+:mod:`repro.faults`): every transmitted TLP notionally sits in a replay
+buffer until acknowledged.  A TLP that arrives with a bad LCRC is NAK'd —
+the transmitter pays the NAK round trip, then reserializes and retransmits
+it.  A TLP lost on the wire draws no ACK at all; the replay timer expires
+and the transmitter retransmits.  Either way delivery is in-order and the
+payload reaches the sink intact, at a real latency cost — the PEARL /
+APEnet+ style link-level retransmission the paper's §III-A names.
+
+``take_down()`` models unplugging the cable: TLPs still in flight (already
+serialized, not yet delivered) are *dropped and counted*, never delivered
+after the link died, and queued TLPs die at the transmitter.
 """
 
 from __future__ import annotations
@@ -30,7 +43,10 @@ class LinkParams:
 
     ``latency_ps`` is the one-way packet latency beyond wire serialization
     (transmitter/receiver PHY plus propagation; larger for external cables
-    than for on-board traces).
+    than for on-board traces).  ``replay_timeout_ps`` is how long the
+    transmitter waits for an ACK before retransmitting a lost TLP; a NAK'd
+    (corrupted) TLP instead costs the detect + NAK-DLLP round trip of
+    ``2 * latency_ps + nak_processing_ps`` before its replay.
     """
 
     gen: PCIeGen = PCIeGen.GEN2
@@ -40,6 +56,10 @@ class LinkParams:
     #: Transmit-queue depth; bounded so that a stalled receiver
     #: backpressures the sender instead of buffering unboundedly.
     tx_queue_tlps: int = 4
+    #: ACK-timeout before a lost TLP is replayed (PCIe replay timer).
+    replay_timeout_ps: int = 1_000_000  # 1 us
+    #: Receiver LCRC check + NAK DLLP turnaround at the far end.
+    nak_processing_ps: int = 8_000
 
     @property
     def bytes_per_ps(self) -> float:
@@ -51,12 +71,13 @@ class _Direction:
     """One simplex half of a link: tx queue, wire, credits, delivery."""
 
     def __init__(self, engine: Engine, name: str, source: Port, sink: Port,
-                 params: LinkParams):
+                 params: LinkParams, link: "PCIeLink"):
         self.engine = engine
         self.name = name
         self.source = source
         self.sink = sink
         self.params = params
+        self.link = link
         self.tx = Store(engine, capacity=params.tx_queue_tlps,
                         name=f"{name}.tx")
         # Credits mirror the *sink's* actual ingress buffer so the
@@ -65,6 +86,12 @@ class _Direction:
         self.credits = Resource(engine, credit_count, name=f"{name}.fc")
         self.bytes_carried = 0
         self.tlps_carried = 0
+        #: TLPs that died with the link (queued or in flight at take_down).
+        self.tlps_dropped = 0
+        #: DLL retransmissions (NAK'd + replay-timer expirations).
+        self.replays = 0
+        #: Replays caused by receiver NAKs (bad LCRC).
+        self.naks = 0
         engine.process(self._transmitter(), name=f"{name}.xmit")
         # Return a credit whenever the sink device drains one packet.
         sink.ingress_drained = self._on_drained
@@ -72,28 +99,93 @@ class _Direction:
     def _on_drained(self) -> None:
         self.credits.release()
 
+    def _drop(self, tlp: TLP, where: str) -> None:
+        self.tlps_dropped += 1
+        if self.engine.tracer is not None:
+            self.engine.trace(self.name, "link-drop", where=where,
+                              tlp=tlp.kind.value, bytes=tlp.wire_bytes)
+        if self.engine.metrics is not None:
+            self.engine.metrics.counter(f"link.{self.name}.dropped").inc()
+
     def _transmitter(self):
+        # The replay loop runs inline in the transmitter: the direction
+        # is occupied for the whole NAK/replay sequence of one TLP, which
+        # keeps delivery strictly in order (the replay buffer retransmits
+        # before anything younger may pass) — and, when no fault fires,
+        # the event sequence is identical to a replay-free transmitter.
         bytes_per_ps = self.params.bytes_per_ps
         while True:
             tlp = yield self.tx.get()
+            if not self.link.up:
+                # The cable died while this packet sat in the tx queue.
+                self._drop(tlp, where="tx-queue")
+                continue
             yield self.credits.acquire()
-            if self.engine.metrics is not None:
-                self.engine.metrics.gauge(f"link.{self.name}.busy").set(1)
-            serialize_ps = transfer_ps(tlp.wire_bytes, bytes_per_ps)
-            yield serialize_ps
-            self.bytes_carried += tlp.wire_bytes
-            self.tlps_carried += 1
-            if self.engine.tracer is not None:
-                self.engine.trace(self.name, "link-tx", dur_ps=serialize_ps,
-                                  bytes=tlp.wire_bytes, tlp=tlp.kind.value)
-            if self.engine.metrics is not None:
-                metrics = self.engine.metrics
-                metrics.gauge(f"link.{self.name}.busy").set(0)
-                metrics.counter(f"link.{self.name}.tlps").inc()
-                metrics.counter(f"link.{self.name}.bytes").inc(tlp.wire_bytes)
-            self.engine.after(self.params.latency_ps, self._deliver, tlp)
+            epoch = self.link.epoch
+            while True:
+                if self.engine.metrics is not None:
+                    self.engine.metrics.gauge(f"link.{self.name}.busy").set(1)
+                serialize_ps = transfer_ps(tlp.wire_bytes, bytes_per_ps)
+                yield serialize_ps
+                self.bytes_carried += tlp.wire_bytes
+                self.tlps_carried += 1
+                if self.engine.tracer is not None:
+                    self.engine.trace(self.name, "link-tx",
+                                      dur_ps=serialize_ps,
+                                      bytes=tlp.wire_bytes,
+                                      tlp=tlp.kind.value)
+                if self.engine.metrics is not None:
+                    metrics = self.engine.metrics
+                    metrics.gauge(f"link.{self.name}.busy").set(0)
+                    metrics.counter(f"link.{self.name}.tlps").inc()
+                    metrics.counter(
+                        f"link.{self.name}.bytes").inc(tlp.wire_bytes)
 
-    def _deliver(self, tlp: TLP) -> None:
+                faults = self.engine.faults
+                verdict = ("ok" if faults is None
+                           else faults.link_verdict(self.name))
+                if verdict == "ok":
+                    self.engine.after(self.params.latency_ps, self._deliver,
+                                      tlp, epoch)
+                    break
+
+                # The TLP never gets ACK'd: pay the detection cost, then
+                # retransmit from the replay buffer.
+                self.replays += 1
+                if verdict == "corrupt":
+                    self.naks += 1
+                    if self.engine.tracer is not None:
+                        self.engine.trace(self.name, "link-nak",
+                                          tlp=tlp.kind.value)
+                    if self.engine.metrics is not None:
+                        self.engine.metrics.counter(
+                            f"link.{self.name}.naks").inc()
+                    # Corrupted TLP reaches the receiver (latency), fails
+                    # the LCRC check, the NAK DLLP travels back (latency).
+                    yield (2 * self.params.latency_ps
+                           + self.params.nak_processing_ps)
+                else:  # dropped on the wire: only the replay timer notices
+                    if self.engine.tracer is not None:
+                        self.engine.trace(self.name, "link-replay-timeout",
+                                          tlp=tlp.kind.value)
+                    yield self.params.replay_timeout_ps
+                if self.engine.metrics is not None:
+                    self.engine.metrics.counter(
+                        f"link.{self.name}.replays").inc()
+                if not self.link.up or self.link.epoch != epoch:
+                    # The link died mid-replay; the sink will never drain
+                    # this packet, so return its flow-control credit.
+                    self._drop(tlp, where="replay")
+                    self.credits.release()
+                    break
+
+    def _deliver(self, tlp: TLP, epoch: int) -> None:
+        if not self.link.up or self.link.epoch != epoch:
+            # The cable died (or flapped) while this packet flew: it is
+            # lost, never delivered on a link that already went down.
+            self._drop(tlp, where="in-flight")
+            self.credits.release()
+            return
         # Space is guaranteed: a credit is held until the sink drains.
         if not self.sink.ingress.try_put(tlp):  # pragma: no cover - invariant
             raise LinkError(f"{self.name}: rx overflow despite credits")
@@ -113,13 +205,20 @@ class PCIeLink:
         self.name = name or f"{port_a.name}<->{port_b.name}"
         self.params = params
         self.up = True
+        #: Bumped on every take_down so in-flight packets of an earlier
+        #: link session can never be delivered after a flap.
+        self.epoch = 0
+        #: Simulated time of the most recent take_down (for time-to-heal).
+        self.down_since_ps: Optional[int] = None
         self._dir_ab = _Direction(engine, f"{self.name}:a->b", port_a, port_b,
-                                  params)
+                                  params, self)
         self._dir_ba = _Direction(engine, f"{self.name}:b->a", port_b, port_a,
-                                  params)
+                                  params, self)
         self._by_source = {id(port_a): self._dir_ab, id(port_b): self._dir_ba}
         port_a.attach(self)
         port_b.attach(self)
+        if engine.faults is not None:
+            engine.faults.register_link(self)
 
     def transmit(self, source: Port, tlp: TLP) -> Signal:
         """Queue ``tlp`` for the direction whose transmitter is ``source``."""
@@ -131,12 +230,28 @@ class PCIeLink:
         return direction.tx.put(tlp)
 
     def take_down(self) -> None:
-        """Simulate unplugging the external cable."""
+        """Simulate unplugging the external cable.
+
+        Packets already serialized onto the wire are dropped (and counted
+        in :attr:`tlps_dropped`) instead of being delivered after the
+        link died; packets still queued die at the transmitter.
+        """
+        if not self.up:
+            return
         self.up = False
+        self.epoch += 1
+        self.down_since_ps = self.engine.now_ps
+        if self.engine.tracer is not None:
+            self.engine.trace(self.name, "link-down")
 
     def bring_up(self) -> None:
         """Re-train the link after :meth:`take_down`."""
+        if self.up:
+            return
         self.up = True
+        self.down_since_ps = None
+        if self.engine.tracer is not None:
+            self.engine.trace(self.name, "link-up")
 
     @property
     def bytes_carried(self) -> int:
@@ -147,3 +262,18 @@ class PCIeLink:
     def tlps_carried(self) -> int:
         """Total packets carried in both directions."""
         return self._dir_ab.tlps_carried + self._dir_ba.tlps_carried
+
+    @property
+    def tlps_dropped(self) -> int:
+        """Packets that died with the link, both directions."""
+        return self._dir_ab.tlps_dropped + self._dir_ba.tlps_dropped
+
+    @property
+    def replays(self) -> int:
+        """DLL retransmissions in both directions."""
+        return self._dir_ab.replays + self._dir_ba.replays
+
+    @property
+    def naks(self) -> int:
+        """Receiver NAKs (bad LCRC) in both directions."""
+        return self._dir_ab.naks + self._dir_ba.naks

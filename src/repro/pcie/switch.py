@@ -43,6 +43,8 @@ class PCIeSwitch(Device):
         self.ports: Dict[str, Port] = {}
         self._egress: Dict[int, EgressQueue] = {}
         self.tlps_forwarded = 0
+        #: Packets lost inside the crossbar (fault injection only).
+        self.tlps_dropped = 0
 
     def new_port(self, name: str, role: PortRole = PortRole.RC,
                  rx_credits: int = 32) -> Port:
@@ -90,6 +92,19 @@ class PCIeSwitch(Device):
 
     def _ingest(self, out: Port, tlp: TLP):
         yield self.params.issue_interval_ps
+        faults = self.engine.faults
+        if faults is not None and faults.switch_drop(self.name):
+            # The crossbar lost this packet.  There is no DLL inside the
+            # switch, so nothing retransmits here — recovery is end to
+            # end (completion timeout / driver retry).
+            self.tlps_dropped += 1
+            if self.engine.tracer is not None:
+                self.engine.trace(self.name, "switch-drop",
+                                  tlp=tlp.kind.value, out=out.name)
+            if self.engine.metrics is not None:
+                self.engine.metrics.counter(
+                    f"switch.{self.name}.dropped").inc()
+            return
         self.tlps_forwarded += 1
         if self.engine.tracer is not None:
             self.engine.trace(self.name, "switch-forward",

@@ -75,6 +75,16 @@ class DMAController:
 
     def _make_doorbell(self, channel: int) -> Callable[[int], None]:
         def ring(_value: int) -> None:
+            faults = self.engine.faults
+            if faults is not None and faults.doorbell_stuck(self.chip.name,
+                                                            channel):
+                # The register write was posted (and paid for) but the
+                # hardware never latched it: the channel stays IDLE and
+                # only the driver's timeout/retry can recover.
+                if self.engine.tracer is not None:
+                    self.engine.trace(self.chip.name, "doorbell-stuck",
+                                      channel=channel)
+                return
             self.start(channel)
 
         return ring
@@ -136,6 +146,19 @@ class DMAController:
                                            tag=tag))
                 data = yield done  # fetch acceptance folded into the RTT
                 raw = np.frombuffer(data, dtype=np.uint8)
+            faults = self.engine.faults
+            if faults is not None and faults.descriptor_fetch_error(
+                    self.chip.name, channel):
+                # The fetched table is garbage (failed parity): the DMAC
+                # discards it and refetches the same batch — the full
+                # round trip was still paid, so the retry costs real time.
+                if self.engine.tracer is not None:
+                    self.engine.trace(self.chip.name, "desc-fetch-error",
+                                      channel=channel, count=take)
+                if self.engine.metrics is not None:
+                    self.engine.metrics.counter(
+                        f"dma.{self.chip.name}.desc_refetches").inc()
+                continue
             if self.engine.tracer is not None:
                 self.engine.trace(
                     self.chip.name, "desc-fetch", channel=channel,
@@ -217,6 +240,16 @@ class DMAController:
         if msi_address == 0:
             return  # interrupts not configured (register-polling mode)
         vector = regs.peek_u64(REG_MSI_VECTOR) + channel
+        faults = self.engine.faults
+        if faults is not None and faults.drop_interrupt(self.chip.name,
+                                                        vector):
+            # The MSI write is swallowed before reaching the CPU.  The
+            # status register already reads DONE, so a driver that times
+            # out and polls it can recover the completion.
+            if self.engine.tracer is not None:
+                self.engine.trace(self.chip.name, "msi-dropped",
+                                  channel=channel, vector=vector)
+            return
         self.chip.inject(make_msi(msi_address, vector,
                                   requester_id=self.chip.device_id))
 

@@ -198,6 +198,11 @@ class Engine:
         #: components sample counters/gauges through it when set.  Like
         #: the tracer, a ``None`` check is the whole disabled-path cost.
         self.metrics = None
+        #: Optional fault-injection hook (repro.faults.FaultInjector).
+        #: Hardware models consult it at their fault points; when ``None``
+        #: (the default) every fault path is skipped entirely, so an
+        #: un-faulted run is picosecond-identical to an unhooked one.
+        self.faults = None
         for callback in list(_engine_observers):
             callback(self)
 
@@ -312,6 +317,30 @@ def all_of(engine: Engine, waitables: Iterable[Any]) -> Signal:
             remaining[0] -= 1
             if remaining[0] == 0:
                 done.fire(list(results))
+
+        return callback
+
+    for i, item in enumerate(items):
+        item.add_callback(make_callback(i))
+    return done
+
+
+def first_of(engine: Engine, waitables: Iterable[Any]) -> Signal:
+    """Signal that fires with ``(index, value)`` of the first waitable.
+
+    Later finishers are ignored (their callbacks find the race already
+    decided).  This is the primitive behind every wait-with-timeout: race
+    the interesting signal against a timer.
+    """
+    items = list(waitables)
+    if not items:
+        raise SimulationError("first_of needs at least one waitable")
+    done = engine.signal("first_of")
+
+    def make_callback(index: int) -> Callable[[Any], None]:
+        def callback(value: Any) -> None:
+            if not done.fired:
+                done.fire((index, value))
 
         return callback
 

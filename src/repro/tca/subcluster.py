@@ -85,6 +85,14 @@ class TCASubCluster:
         # Baseline NIOS link scan, so later failures log as transitions.
         for board in self.boards:
             board.chip.firmware.scan_links()
+        # Healing/recovery accounting.
+        self.heals_completed = 0
+        self.last_heal_chain: Optional[List[int]] = None
+        self.last_time_to_heal_ps: Optional[int] = None
+        self._healed_links: set = set()
+        # A fault injector armed before construction sees our ring links.
+        if self.engine.faults is not None:
+            self.engine.faults.attach_cluster(self)
 
     # -- construction helpers ---------------------------------------------------
 
@@ -165,10 +173,30 @@ class TCASubCluster:
 
     # -- PEARL reliability: survive a ring-cable failure ----------------------
 
-    def cut_ring_cable(self, east_node: int) -> None:
-        """Unplug the cable from ``east_node``'s E port (fault injection)."""
+    def cut_ring_cable(self, east_node: int, force: bool = False) -> None:
+        """Unplug the cable from ``east_node``'s E port (fault injection).
+
+        A second cut while another ring cable is still down is rejected
+        with :class:`ConfigError` — PEARL heals exactly one failure, so
+        a second concurrent one silently partitions the sub-cluster.
+        Pass ``force=True`` to model that partition deliberately.
+        """
         for a, b, link in self._ring_cables:
             if a == east_node:
+                if not link.up:
+                    raise ConfigError(
+                        f"the ring cable off node {east_node}'s E port is "
+                        "already down")
+                if not force:
+                    down = [(x, y) for x, y, other in self._ring_cables
+                            if not other.up]
+                    if down:
+                        raise ConfigError(
+                            f"ring cable node{down[0][0]}.E->node{down[0][1]}"
+                            ".W is already down; cutting another would "
+                            "partition the sub-cluster (PEARL survives one "
+                            "cable failure, §III-A) — pass force=True to "
+                            "model the partition deliberately")
                 link.take_down()
                 return
         raise ConfigError(f"no ring cable leaves node {east_node}'s E port")
@@ -195,6 +223,8 @@ class TCASubCluster:
             raise ConfigError(
                 f"{len(down)} cables down: the sub-cluster is partitioned")
         east_node, west_node = down[0]
+        dead_link = next(link for a, b, link in self._ring_cables
+                         if not link.up)
         # Surviving chain runs W->E starting at the node whose W cable died.
         n = self.num_nodes
         chain = [(west_node + k) % n for k in range(n)]
@@ -205,4 +235,42 @@ class TCASubCluster:
             for index in range(NUM_ROUTE_ENTRIES):
                 regs.set_route(index, entries[index]
                                if index < len(entries) else None)
+        self.heals_completed += 1
+        self.last_heal_chain = chain
+        if dead_link.down_since_ps is not None:
+            self.last_time_to_heal_ps = (self.engine.now_ps
+                                         - dead_link.down_since_ps)
+        if self.engine.tracer is not None:
+            self.engine.trace("tca", "heal", link=dead_link.name,
+                              chain=",".join(str(i) for i in chain))
+        if self.engine.metrics is not None:
+            metrics = self.engine.metrics
+            metrics.counter("tca.reroutes").inc()
+            if self.last_time_to_heal_ps is not None:
+                metrics.histogram("tca.time_to_heal_ns").observe(
+                    self.last_time_to_heal_ps / 1000.0)
         return chain
+
+    # -- firmware-driven auto-heal --------------------------------------------
+
+    def enable_auto_heal(self, interval_ps: Optional[int] = None) -> None:
+        """Start every board's NIOS watchdog, wired to :meth:`heal`.
+
+        When any firmware instance detects a dead ring cable, the
+        sub-cluster reroutes automatically.  Both endpoint chips see the
+        same failure; the first report wins and the second is ignored.
+        """
+        for board in self.boards:
+            board.chip.firmware.start_watchdog(
+                interval_ps, on_ring_down=self._on_ring_down)
+
+    def disable_auto_heal(self) -> None:
+        """Stop the watchdogs (required before draining the engine)."""
+        for board in self.boards:
+            board.chip.firmware.stop_watchdog()
+
+    def _on_ring_down(self, chip, link) -> None:
+        if link.name in self._healed_links:
+            return
+        self._healed_links.add(link.name)
+        self.heal()

@@ -1,0 +1,108 @@
+"""Fault-plan construction: presets, CLI specs, JSON, validation."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (DescriptorFetchError, FaultPlan, LinkFlap,
+                          LostInterrupt, PRESETS, StuckDoorbell, TLPCorrupt,
+                          TLPDrop)
+
+
+class TestPresets:
+    def test_all_presets_parse(self):
+        for name in PRESETS:
+            plan = FaultPlan.preset(name, seed=3)
+            assert plan.seed == 3
+            assert plan.name == name
+
+    def test_none_is_empty(self):
+        assert FaultPlan.preset("none").empty
+        assert not FaultPlan.preset("chaos").empty
+
+    def test_unknown_preset(self):
+        with pytest.raises(FaultError, match="unknown fault preset"):
+            FaultPlan.preset("meteor-strike")
+
+
+class TestParse:
+    def test_name_and_seed(self):
+        plan = FaultPlan.parse("flaky-links:42")
+        assert plan.name == "flaky-links" and plan.seed == 42
+
+    def test_name_alone_defaults_seed(self):
+        assert FaultPlan.parse("lost-irq").seed == 0
+
+    def test_bad_seed(self):
+        with pytest.raises(FaultError, match="bad fault-plan seed"):
+            FaultPlan.parse("chaos:many")
+
+    def test_json_file(self, tmp_path):
+        doc = {"seed": 9, "name": "mine", "faults": [
+            {"kind": "tlp-corrupt", "probability": 0.5,
+             "target": "*ring*"},
+            {"kind": "link-flap", "target": "*E<->*", "down_at_ps": 1000},
+            {"kind": "lost-interrupt", "chip": "node0*", "nth": 2},
+        ]}
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(doc))
+        plan = FaultPlan.parse(str(path))
+        assert plan.seed == 9 and plan.name == "mine"
+        kinds = [type(f) for f in plan.faults]
+        assert kinds == [TLPCorrupt, LinkFlap, LostInterrupt]
+        assert plan.faults[2].nth == 2
+
+    def test_json_unknown_kind(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"faults": [{"kind": "gremlin"}]}))
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            FaultPlan.parse(str(path))
+
+    def test_json_bad_field(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"faults": [{"kind": "tlp-drop", "chance": 1}]}))
+        with pytest.raises(FaultError, match="bad 'tlp-drop' fault"):
+            FaultPlan.parse(str(path))
+
+    def test_missing_file(self):
+        with pytest.raises(FaultError, match="cannot load fault plan"):
+            FaultPlan.parse("/nonexistent/plan.json")
+
+
+class TestValidation:
+    def test_probability_range(self):
+        with pytest.raises(FaultError, match="not in"):
+            TLPCorrupt(probability=1.5)
+
+    def test_window_order(self):
+        with pytest.raises(FaultError, match="must end after"):
+            TLPDrop(probability=0.1, start_ps=100, end_ps=100)
+
+    def test_flap_order(self):
+        with pytest.raises(FaultError, match="must follow"):
+            LinkFlap(target="*", down_at_ps=100, up_at_ps=50)
+
+    def test_nth_is_one_based(self):
+        for cls in (LostInterrupt, StuckDoorbell, DescriptorFetchError):
+            with pytest.raises(FaultError, match="1-based"):
+                cls(nth=0)
+
+    def test_window_membership(self):
+        fault = TLPCorrupt(probability=0.5, start_ps=100, end_ps=200)
+        assert not fault.in_window(99)
+        assert fault.in_window(100)
+        assert fault.in_window(199)
+        assert not fault.in_window(200)
+
+    def test_open_ended_window(self):
+        assert TLPDrop(probability=0.1).in_window(10**15)
+
+
+def test_with_seed_keeps_faults():
+    plan = FaultPlan.preset("chaos", seed=1)
+    reseeded = plan.with_seed(5)
+    assert reseeded.seed == 5
+    assert reseeded.faults == plan.faults
+    assert reseeded.name == plan.name

@@ -1,0 +1,163 @@
+"""Driver retry/timeout recovery and the firmware watchdog auto-heal."""
+
+import numpy as np
+import pytest
+
+from repro.drivers.peach2_driver import RetryPolicy
+from repro.errors import DriverError, SimulationError
+from repro.faults import (FaultInjector, FaultPlan, LostInterrupt,
+                          StuckDoorbell)
+from repro.hw.node import NodeParams
+from repro.sim.core import Engine
+from repro.tca.comm import TCAComm
+from repro.tca.subcluster import TCASubCluster
+
+
+def faulted_cluster(n, *faults, seed=0):
+    engine = Engine()
+    injector = FaultInjector(
+        FaultPlan(seed=seed, faults=tuple(faults))).arm(engine)
+    cluster = TCASubCluster(n, engine=engine,
+                            node_params=NodeParams(num_gpus=1))
+    return cluster, injector
+
+
+def put_reliably(cluster, nbytes=4096, policy=None):
+    comm = TCAComm(cluster)
+    driver = cluster.driver(0)
+    data = np.random.default_rng(2).integers(0, 256, nbytes, dtype=np.uint8)
+    driver.fill_dma_buffer(0, data)
+    dst = comm.host_global(1, cluster.driver(1).dma_buffer(0))
+    chain = comm.put_dma_descriptors(0, driver.dma_buffer(0), dst, nbytes)
+    elapsed = cluster.engine.run_process(
+        driver.run_chain_reliable(0, chain, policy))
+    cluster.engine.run()
+    got = cluster.driver(1).read_dma_buffer(0, nbytes)
+    return elapsed, np.array_equal(got, data)
+
+
+POLICY = RetryPolicy(completion_timeout_ps=50_000_000, max_attempts=4)
+
+
+class TestDriverRecovery:
+    def test_lost_irq_recovered_from_status_poll(self):
+        cluster, _ = faulted_cluster(2, LostInterrupt(chip="node0*", nth=1))
+        elapsed, byte_exact = put_reliably(cluster, policy=POLICY)
+        driver = cluster.driver(0)
+        assert byte_exact
+        assert driver.lost_irqs_recovered == 1
+        assert driver.completion_timeouts >= 1
+        # Recovery waited at least one full timeout.
+        assert elapsed >= POLICY.completion_timeout_ps
+
+    def test_plain_run_chain_deadlocks_on_lost_irq(self):
+        cluster, _ = faulted_cluster(2, LostInterrupt(chip="node0*", nth=1))
+        comm = TCAComm(cluster)
+        driver = cluster.driver(0)
+        dst = comm.host_global(1, cluster.driver(1).dma_buffer(0))
+        chain = comm.put_dma_descriptors(0, driver.dma_buffer(0), dst, 4096)
+        with pytest.raises(SimulationError, match="deadlock"):
+            cluster.engine.run_process(driver.run_chain(0, chain))
+
+    def test_stuck_doorbell_is_rerung(self):
+        cluster, _ = faulted_cluster(2, StuckDoorbell(chip="node0*", nth=1))
+        _, byte_exact = put_reliably(cluster, policy=POLICY)
+        driver = cluster.driver(0)
+        assert byte_exact
+        assert driver.doorbell_retries == 1
+        assert driver.lost_irqs_recovered == 0
+
+    def test_channel_usable_after_recovery(self):
+        cluster, _ = faulted_cluster(2, StuckDoorbell(chip="node0*", nth=1))
+        put_reliably(cluster, policy=POLICY)
+        # Second chain on the same channel runs clean.
+        _, byte_exact = put_reliably(cluster, policy=POLICY)
+        assert byte_exact
+        assert cluster.driver(0).doorbell_retries == 1  # no new retries
+
+    def test_healthy_chain_pays_no_recovery_cost(self):
+        healthy = TCASubCluster(2, node_params=NodeParams(num_gpus=1))
+        baseline = healthy.engine.run_process(_plain_put(healthy, 4096))
+        reliable = TCASubCluster(2, node_params=NodeParams(num_gpus=1))
+        elapsed, byte_exact = put_reliably(reliable, policy=POLICY)
+        assert byte_exact
+        assert elapsed == baseline
+        assert reliable.driver(0).completion_timeouts == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(DriverError):
+            RetryPolicy(completion_timeout_ps=0)
+        with pytest.raises(DriverError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(DriverError):
+            RetryPolicy(backoff=0.5)
+
+
+def _plain_put(cluster, nbytes):
+    comm = TCAComm(cluster)
+    driver = cluster.driver(0)
+    data = np.random.default_rng(2).integers(0, 256, nbytes, dtype=np.uint8)
+    driver.fill_dma_buffer(0, data)
+    dst = comm.host_global(1, cluster.driver(1).dma_buffer(0))
+    chain = comm.put_dma_descriptors(0, driver.dma_buffer(0), dst, nbytes)
+    return driver.run_chain(0, chain)
+
+
+class TestWatchdogAutoHeal:
+    def test_watchdog_detects_and_heals(self):
+        cluster = TCASubCluster(4, node_params=NodeParams(num_gpus=1))
+        cluster.enable_auto_heal(interval_ps=10_000_000)
+        cluster.engine.at(1_000_000, lambda: cluster.cut_ring_cable(1))
+
+        def until_healed():
+            for _ in range(100):
+                if cluster.heals_completed:
+                    return
+                yield 1_000_000
+
+        cluster.engine.run_process(until_healed())
+        assert cluster.heals_completed == 1
+        assert cluster.last_heal_chain == [2, 3, 0, 1]
+        # Detection happens at watchdog granularity.
+        assert cluster.last_time_to_heal_ps is not None
+        assert cluster.last_time_to_heal_ps <= 11_000_000
+        cluster.disable_auto_heal()
+        cluster.engine.run()  # drains: the watchdogs stopped
+
+    def test_traffic_flows_after_auto_heal(self):
+        cluster = TCASubCluster(4, node_params=NodeParams(num_gpus=1))
+        comm = TCAComm(cluster)
+        cluster.enable_auto_heal(interval_ps=5_000_000)
+        cluster.engine.at(500_000, lambda: cluster.cut_ring_cable(0))
+
+        def wait_heal():
+            while not cluster.heals_completed:
+                yield 1_000_000
+
+        cluster.engine.run_process(wait_heal())
+        target = comm.host_global(1, cluster.driver(1).dma_buffer(0x40))
+        cluster.node(0).cpu.store_u32(target, 0xFEED)
+        cluster.disable_auto_heal()
+        cluster.engine.run()
+        got = cluster.driver(1).read_dma_buffer(0x40, 4)
+        assert int.from_bytes(got.tobytes(), "little") == 0xFEED
+
+    def test_both_endpoints_report_but_heal_runs_once(self):
+        cluster = TCASubCluster(3, node_params=NodeParams(num_gpus=1))
+        cluster.enable_auto_heal(interval_ps=1_000_000)
+        cluster.cut_ring_cable(0)  # node0.E <-> node1.W
+        cluster.engine.run(until_ps=20_000_000)
+        reporters = [board.chip.firmware.ring_failures_seen
+                     for board in cluster.boards]
+        assert sum(reporters) == 2  # both endpoint chips saw it
+        assert cluster.heals_completed == 1
+        cluster.disable_auto_heal()
+
+    def test_quiet_watchdog_scans_but_never_heals(self):
+        cluster = TCASubCluster(3, node_params=NodeParams(num_gpus=1))
+        cluster.enable_auto_heal(interval_ps=1_000_000)
+        cluster.engine.run(until_ps=10_000_000)
+        assert cluster.heals_completed == 0
+        fw = cluster.board(0).chip.firmware
+        assert fw.watchdog_scans >= 9
+        cluster.disable_auto_heal()

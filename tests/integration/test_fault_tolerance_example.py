@@ -1,0 +1,43 @@
+"""The examples/fault_tolerance.py scenario, end to end.
+
+The example is the PR's robustness story in miniature: cut a ring cable
+on a live 6-node sub-cluster, heal (manually, then via the NIOS
+watchdog), verify traffic including a byte-checked DMA put, and contrast
+the NTB failure mode.  Running it here keeps the demo honest.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" \
+    / "fault_tolerance.py"
+
+
+def _run_example() -> str:
+    spec = importlib.util.spec_from_file_location("fault_tolerance_example",
+                                                  EXAMPLE)
+    module = importlib.util.module_from_spec(spec)
+    out = io.StringIO()
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        with redirect_stdout(out):
+            module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return out.getvalue()
+
+
+def test_fault_tolerance_example_end_to_end():
+    output = _run_example()
+    # Manual detect -> heal -> verified traffic.
+    assert "healed: ring degraded to chain [1, 2, 3, 4, 5, 0]" in output
+    assert "verified=True" in output
+    # The watchdog closes the loop without an operator.
+    assert "watchdog healed the ring" in output
+    assert "-> chain [3, 4, 5, 0, 1, 2]" in output
+    # The §V contrast: an NTB cable pull takes both hosts down.
+    assert "hosts_require_reboot = True" in output

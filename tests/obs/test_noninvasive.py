@@ -4,12 +4,18 @@ Tracing and metrics are passive — they schedule no engine events — so an
 instrumented run must report *identical* picosecond results to a bare
 run.  These tests pin that on real Fig. 7/8 measurement cells and on the
 Fig. 10 PIO path.
+
+The same contract covers the fault-injection hooks: an armed plan that
+injects nothing (the ``none`` preset) must leave every number
+picosecond-identical, because the whole disabled/quiet path is identity
+checks on ``engine.faults`` and RNG draws that never happen.
 """
 
 import pytest
 
 from repro.bench.harness import SingleNodeRig
 from repro.bench.loopback import LoopbackRig
+from repro.faults import FaultPlan, FaultSession
 from repro.obs import Observability
 from repro.sim.core import Engine
 
@@ -40,6 +46,31 @@ def test_instrumented_pio_latency_is_cycle_exact():
     bare = LoopbackRig().pio_commit_latency_ns()
     obs = Observability()
     with obs.session():
+        rig = LoopbackRig()
+    assert rig.pio_commit_latency_ns() == bare
+
+
+@pytest.mark.parametrize("op,target,size", [
+    ("write", "cpu", 256),
+    ("write", "gpu", 4096),
+    ("read", "cpu", 1024),
+])
+def test_armed_empty_fault_plan_is_cycle_exact(op, target, size):
+    bare_rig = SingleNodeRig()
+    bare, _ = bare_rig.measure(op, target, size, count=32)
+    session = FaultSession(FaultPlan.preset("none"))
+    with session.session():
+        rig = SingleNodeRig()
+    armed, _ = rig.measure(op, target, size, count=32)
+    assert session.armed, "fault session armed no engine"
+    assert session.total_injected == 0
+    assert armed == bare
+
+
+def test_armed_empty_fault_plan_pio_is_cycle_exact():
+    bare = LoopbackRig().pio_commit_latency_ns()
+    session = FaultSession(FaultPlan.preset("none"))
+    with session.session():
         rig = LoopbackRig()
     assert rig.pio_commit_latency_ns() == bare
 

@@ -105,10 +105,24 @@ class TestHealing:
         with pytest.raises(ConfigError, match="no failed cable"):
             cluster(3).heal()
 
+    def test_second_cut_rejected(self):
+        c = cluster(4)
+        c.cut_ring_cable(0)
+        with pytest.raises(ConfigError, match="already down"):
+            c.cut_ring_cable(2)
+        # The guarded cut did not touch the second cable.
+        assert sum(1 for _, _, link in c._ring_cables if not link.up) == 1
+
+    def test_cutting_same_cable_twice_rejected(self):
+        c = cluster(4)
+        c.cut_ring_cable(0)
+        with pytest.raises(ConfigError, match="already down"):
+            c.cut_ring_cable(0, force=True)
+
     def test_partition_detected(self):
         c = cluster(4)
         c.cut_ring_cable(0)
-        c.cut_ring_cable(2)
+        c.cut_ring_cable(2, force=True)
         with pytest.raises(ConfigError, match="partitioned"):
             c.heal()
 
