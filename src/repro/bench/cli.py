@@ -52,7 +52,14 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "ablation-dmac": experiments.ablation_dmac,
     "ablation-ring": experiments.ablation_ring,
     "ablation-ntb": experiments.ablation_ntb,
+    "perf": lambda: _perf(),
 }
+
+
+def _perf():
+    from repro.bench.perf import run_perf
+
+    return run_perf()
 
 
 def _validate() -> str:
@@ -69,6 +76,8 @@ def render(result: object, chart: bool = False) -> str:
             text += "\n\n" + result.render_chart()
         return text
     if isinstance(result, dict):
+        if not result:
+            return "(no results)"
         width = max(len(str(k)) for k in result)
         return "\n".join(f"{k:<{width}} : {v}" for k, v in result.items())
     return str(result)
@@ -80,6 +89,9 @@ def to_payload(result: object) -> object:
         return result.to_dict()
     if isinstance(result, dict):
         return result
+    to_dict = getattr(result, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
     return {"text": str(result)}
 
 
@@ -107,6 +119,10 @@ def main(argv=None) -> int:
                              "a preset (none, flaky-links, lost-irq, chaos),"
                              " optionally NAME:SEED, or a JSON plan file "
                              "(see docs/robustness.md)")
+    parser.add_argument("--bench-json", metavar="PATH", default=None,
+                        help="with the 'perf' experiment: write the "
+                             "wall-clock benchmark document to PATH "
+                             "(see docs/performance.md)")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -155,6 +171,22 @@ def main(argv=None) -> int:
 
     if faults is not None:
         print(faults.summary(), file=sys.stderr)
+
+    if args.bench_json:
+        perf_report = results.get("perf")
+        if perf_report is None:
+            print("error: --bench-json requires the 'perf' experiment",
+                  file=sys.stderr)
+            return 2
+        try:
+            with open(args.bench_json, "w", encoding="utf-8") as fh:
+                json.dump(perf_report.to_dict(), fh, indent=2)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write benchmark output: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"benchmark -> {args.bench_json}", file=sys.stderr)
 
     if obs is not None:
         try:

@@ -259,6 +259,10 @@ class PEACH2Driver:
             timer.fire_after(timeout_ps)
             index, value = yield first_of(self.engine, [done, timer])
             if index == 0:
+                # The IRQ won: retire the losing timer so its heap event
+                # does not pad a drain-mode run to the full timeout (nor
+                # inflate events_processed).
+                timer.cancel()
                 return value - start_tsc
             self.completion_timeouts += 1
             if self.engine.tracer is not None:

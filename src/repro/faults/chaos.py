@@ -45,6 +45,10 @@ class ChaosReport:
     seed: int
     num_nodes: int
     duration_ps: int = 0
+    #: Engine events processed over the whole run — a cheap, fully
+    #: deterministic fingerprint of the event schedule (fault timing
+    #: shifts it even when the injected-fault *counts* coincide).
+    events_processed: int = 0
     # Phase 1: resilient ping-pong.
     pingpong_rounds: int = 0
     pingpong_retries: int = 0
@@ -204,6 +208,7 @@ def run_chaos(plan: FaultPlan, num_nodes: int = 6,
     cluster.disable_auto_heal()
     engine.run()
     report.duration_ps = engine.now_ps
+    report.events_processed = engine.events_processed
     report.healed = cluster.heals_completed > 0
     report.heal_chain = cluster.last_heal_chain
     report.time_to_heal_ps = cluster.last_time_to_heal_ps

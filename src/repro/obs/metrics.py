@@ -12,6 +12,8 @@ scheduled, so attaching a registry can never perturb a measurement.
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 
@@ -70,62 +72,106 @@ class Gauge(Metric):
 
     def set(self, value: float, time_ps: Optional[int] = None) -> None:
         """Record that the level is ``value`` from ``time_ps`` onward."""
-        t = self._now(time_ps)
-        if self._last_ps is not None:
-            self._integral += self.last * (t - self._last_ps)
+        # _now() inlined: set() runs on per-TLP paths, one call frame less.
+        if time_ps is None:
+            if self._clock is None:
+                raise ValueError(f"gauge {self.name!r} has no clock; "
+                                 "pass time_ps explicitly")
+            time_ps = self._clock()
+        last_ps = self._last_ps
+        if last_ps is not None:
+            self._integral += self.last * (time_ps - last_ps)
         else:
-            self._start_ps = t
-        self._last_ps = t
+            self._start_ps = time_ps
+        self._last_ps = time_ps
         self.last = value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
         self.samples += 1
 
     def mean(self, now_ps: Optional[int] = None) -> Optional[float]:
-        """Time-weighted average over [first sample, ``now_ps``]."""
+        """Time-weighted average over [first sample, ``now_ps``].
+
+        With no clock wired and ``now_ps`` omitted, the window closes at
+        the *last sample time* instead of failing — the mean over every
+        observed transition is always computable, so exporters never have
+        to drop it.
+        """
         if self._last_ps is None:
             return None
-        t = self._now(now_ps)
+        if now_ps is not None:
+            t = now_ps
+        elif self._clock is not None:
+            t = self._clock()
+        else:
+            t = self._last_ps
         span = t - self._start_ps
         if span <= 0:
             return float(self.last)
         return (self._integral + self.last * (t - self._last_ps)) / span
 
     def to_dict(self, now_ps: Optional[int] = None) -> Dict[str, Any]:
-        out: Dict[str, Any] = {"type": "gauge", "last": self.last,
-                               "min": self.min, "max": self.max,
-                               "samples": self.samples}
-        try:
-            out["mean"] = self.mean(now_ps)
-        except ValueError:
-            out["mean"] = None
-        return out
+        return {"type": "gauge", "last": self.last,
+                "min": self.min, "max": self.max,
+                "samples": self.samples, "mean": self.mean(now_ps)}
 
 
 class Histogram(Metric):
     """A distribution of observed values (durations, sizes...).
 
-    Values are kept verbatim — experiment runs observe at most a few
-    hundred thousand items, and exact percentiles beat bucket error when
-    the point is to *explain* a latency budget.
+    By default values are kept verbatim — experiment runs observe at most
+    a few hundred thousand items, and exact percentiles beat bucket error
+    when the point is to *explain* a latency budget.
+
+    Long-running jobs (chaos soaks, hour-scale sweeps) instead pass a
+    ``reservoir`` size: the histogram then keeps a uniform random sample
+    of that many values (Vitter's Algorithm R) in bounded memory.
+    ``count``, ``mean``, ``min`` and ``max`` stay exact; percentiles are
+    estimated from the reservoir.  Sampling uses a private RNG seeded from
+    the metric name, so runs stay deterministic, and draws happen only in
+    bookkeeping — never on the engine — so measurements are unperturbed.
     """
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, reservoir: Optional[int] = None):
         super().__init__(name)
+        if reservoir is not None and reservoir <= 0:
+            raise ValueError(f"histogram {name!r}: reservoir size must be "
+                             f"positive, got {reservoir}")
+        self.reservoir = reservoir
         self.values: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
-        """Record one value."""
-        self.values.append(value)
+        """Record one value (O(1) memory when a reservoir is set)."""
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self.reservoir is None or len(self.values) < self.reservoir:
+            self.values.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.reservoir:
+                self.values[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        """Exact number of observations (not the reservoir occupancy)."""
+        return self._count
 
     def mean(self) -> Optional[float]:
-        if not self.values:
+        """Exact mean over every observation."""
+        if not self._count:
             return None
-        return sum(self.values) / len(self.values)
+        return self._sum / self._count
 
     def percentile(self, p: float) -> float:
         """Linear-interpolated percentile, ``p`` in [0, 100]."""
@@ -143,17 +189,21 @@ class Histogram(Metric):
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     def summary(self) -> Dict[str, Any]:
-        """count/mean/min/p50/p90/p99/max in one dict."""
-        if not self.values:
+        """count/mean/min/p50/p90/p99/max in one dict.
+
+        count/mean/min/max are exact even in reservoir mode; the
+        percentiles come from the (possibly sampled) ``values``.
+        """
+        if not self._count:
             return {"count": 0}
         return {
-            "count": self.count,
+            "count": self._count,
             "mean": self.mean(),
-            "min": min(self.values),
+            "min": self._min,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
-            "max": max(self.values),
+            "max": self._max,
         }
 
     def to_dict(self, now_ps: Optional[int] = None) -> Dict[str, Any]:
@@ -167,10 +217,15 @@ class MetricsRegistry:
 
     ``clock`` (usually ``lambda: engine.now_ps``) stamps gauge samples so
     call sites never pass time explicitly on the hot path.
+    ``histogram_reservoir`` caps every histogram created through this
+    registry at that many sampled values (bounded memory for long runs);
+    ``None`` keeps the default store-everything behaviour.
     """
 
-    def __init__(self, clock: Optional[Callable[[], int]] = None):
+    def __init__(self, clock: Optional[Callable[[], int]] = None,
+                 histogram_reservoir: Optional[int] = None):
         self._clock = clock
+        self._histogram_reservoir = histogram_reservoir
         self._metrics: Dict[str, Metric] = {}
 
     def _get(self, name: str, cls, **kwargs) -> Metric:
@@ -189,8 +244,11 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge, clock=self._clock)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(self, name: str,
+                  reservoir: Optional[int] = None) -> Histogram:
+        if reservoir is None:
+            reservoir = self._histogram_reservoir
+        return self._get(name, Histogram, reservoir=reservoir)
 
     def names(self) -> Sequence[str]:
         return sorted(self._metrics)

@@ -48,13 +48,19 @@ class EgressQueue:
         self.tlps_dropped = 0
         self.injections_held = 0
         self._injection_waiters = []  # (signal, tlp) FIFO
+        # Depth-gauge handle, bound once per registry (sampled per TLP).
+        self._bound_metrics = None
+        self._m_depth = None
         engine.process(self._emitter(), name=f"{self.name}.emit")
 
     def _sample_depth(self) -> None:
         """Time-weighted egress depth sample (cheap no-op when metrics off)."""
-        if self.engine.metrics is not None:
-            self.engine.metrics.gauge(
-                f"egress.{self.name}.depth").set(len(self.store))
+        metrics = self.engine.metrics
+        if metrics is not None:
+            if metrics is not self._bound_metrics:
+                self._bound_metrics = metrics
+                self._m_depth = metrics.gauge(f"egress.{self.name}.depth")
+            self._m_depth.set(len(self.store))
 
     def submit(self, tlp: TLP) -> Signal:
         """Hand a transit/ejection packet to the egress stage.

@@ -84,17 +84,43 @@ class _Direction:
         # guaranteed-space invariant in _deliver holds.
         credit_count = sink.ingress.capacity or params.rx_credits
         self.credits = Resource(engine, credit_count, name=f"{name}.fc")
+        #: Goodput: framed bytes / TLPs accepted onto the wire toward
+        #: delivery — each TLP counts **once**, however many times the DLL
+        #: had to retransmit it.
         self.bytes_carried = 0
         self.tlps_carried = 0
+        #: Wire traffic: framed bytes / TLPs serialized, **including**
+        #: every NAK/replay retransmission.  ``wire - carried`` is the
+        #: bandwidth the DLL burned on reliability.
+        self.wire_bytes_carried = 0
+        self.wire_tlps_carried = 0
         #: TLPs that died with the link (queued or in flight at take_down).
         self.tlps_dropped = 0
         #: DLL retransmissions (NAK'd + replay-timer expirations).
         self.replays = 0
         #: Replays caused by receiver NAKs (bad LCRC).
         self.naks = 0
+        # Metric instrument handles, bound once per registry instead of
+        # paying an f-string + registry lookup on every TLP (hot path).
+        self._bound_metrics = None
+        self._m_busy = None
+        self._m_tlps = None
+        self._m_bytes = None
+        self._m_wire_tlps = None
+        self._m_wire_bytes = None
         engine.process(self._transmitter(), name=f"{name}.xmit")
         # Return a credit whenever the sink device drains one packet.
         sink.ingress_drained = self._on_drained
+
+    def _bind_metrics(self, registry) -> None:
+        """(Re)bind per-TLP instrument handles to ``registry``."""
+        self._bound_metrics = registry
+        name = self.name
+        self._m_busy = registry.gauge(f"link.{name}.busy")
+        self._m_tlps = registry.counter(f"link.{name}.tlps")
+        self._m_bytes = registry.counter(f"link.{name}.bytes")
+        self._m_wire_tlps = registry.counter(f"link.{name}.wire_tlps")
+        self._m_wire_bytes = registry.counter(f"link.{name}.wire_bytes")
 
     def _on_drained(self) -> None:
         self.credits.release()
@@ -113,7 +139,9 @@ class _Direction:
         # keeps delivery strictly in order (the replay buffer retransmits
         # before anything younger may pass) — and, when no fault fires,
         # the event sequence is identical to a replay-free transmitter.
+        engine = self.engine
         bytes_per_ps = self.params.bytes_per_ps
+        latency_ps = self.params.latency_ps
         while True:
             tlp = yield self.tx.get()
             if not self.link.up:
@@ -122,31 +150,41 @@ class _Direction:
                 continue
             yield self.credits.acquire()
             epoch = self.link.epoch
+            wire_bytes = tlp.wire_bytes
             while True:
-                if self.engine.metrics is not None:
-                    self.engine.metrics.gauge(f"link.{self.name}.busy").set(1)
-                serialize_ps = transfer_ps(tlp.wire_bytes, bytes_per_ps)
+                metrics = engine.metrics
+                if metrics is not None:
+                    if metrics is not self._bound_metrics:
+                        self._bind_metrics(metrics)
+                    self._m_busy.set(1, engine.now_ps)
+                serialize_ps = transfer_ps(wire_bytes, bytes_per_ps)
                 yield serialize_ps
-                self.bytes_carried += tlp.wire_bytes
-                self.tlps_carried += 1
-                if self.engine.tracer is not None:
-                    self.engine.trace(self.name, "link-tx",
-                                      dur_ps=serialize_ps,
-                                      bytes=tlp.wire_bytes,
-                                      tlp=tlp.kind.value)
-                if self.engine.metrics is not None:
-                    metrics = self.engine.metrics
-                    metrics.gauge(f"link.{self.name}.busy").set(0)
-                    metrics.counter(f"link.{self.name}.tlps").inc()
-                    metrics.counter(
-                        f"link.{self.name}.bytes").inc(tlp.wire_bytes)
+                self.wire_bytes_carried += wire_bytes
+                self.wire_tlps_carried += 1
+                tracer = engine.tracer
+                if tracer is not None:
+                    tracer.emit(engine.now_ps, self.name, "link-tx",
+                                dur_ps=serialize_ps,
+                                bytes=wire_bytes,
+                                tlp=tlp.kind.value)
+                metrics = engine.metrics
+                if metrics is not None:
+                    if metrics is not self._bound_metrics:
+                        self._bind_metrics(metrics)
+                    self._m_busy.set(0, engine.now_ps)
+                    self._m_wire_tlps.inc()
+                    self._m_wire_bytes.inc(wire_bytes)
 
-                faults = self.engine.faults
+                faults = engine.faults
                 verdict = ("ok" if faults is None
                            else faults.link_verdict(self.name))
                 if verdict == "ok":
-                    self.engine.after(self.params.latency_ps, self._deliver,
-                                      tlp, epoch)
+                    self.bytes_carried += wire_bytes
+                    self.tlps_carried += 1
+                    if metrics is not None:
+                        self._m_tlps.inc()
+                        self._m_bytes.inc(wire_bytes)
+                    engine.after(latency_ps, self._deliver, tlp, epoch)
                     break
 
                 # The TLP never gets ACK'd: pay the detection cost, then
@@ -255,13 +293,28 @@ class PCIeLink:
 
     @property
     def bytes_carried(self) -> int:
-        """Total framed bytes carried in both directions."""
+        """Goodput: framed bytes carried in both directions (one count per
+        TLP, replays excluded)."""
         return self._dir_ab.bytes_carried + self._dir_ba.bytes_carried
 
     @property
     def tlps_carried(self) -> int:
-        """Total packets carried in both directions."""
+        """Goodput: packets carried in both directions (replays excluded)."""
         return self._dir_ab.tlps_carried + self._dir_ba.tlps_carried
+
+    @property
+    def wire_bytes_carried(self) -> int:
+        """Wire traffic: framed bytes serialized in both directions,
+        including every NAK/replay retransmission."""
+        return (self._dir_ab.wire_bytes_carried
+                + self._dir_ba.wire_bytes_carried)
+
+    @property
+    def wire_tlps_carried(self) -> int:
+        """Wire traffic: serializations in both directions, replays
+        included."""
+        return (self._dir_ab.wire_tlps_carried
+                + self._dir_ba.wire_tlps_carried)
 
     @property
     def tlps_dropped(self) -> int:

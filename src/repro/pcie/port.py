@@ -81,19 +81,24 @@ class Port:
         if self.link is None:
             raise LinkError(f"port {self.name} is not connected")
         self.tlps_sent += 1
-        if self.engine.tracer is not None:
-            self.engine.trace(self.name, "tlp-sent", tlp=tlp.kind.value,
-                              addr=tlp.address, bytes=tlp.wire_bytes)
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.emit(self.engine.now_ps, self.name, "tlp-sent",
+                        tlp=tlp.kind.value, addr=tlp.address,
+                        bytes=tlp.wire_bytes)
         return self.link.transmit(self, tlp)
 
     def _ingress_loop(self):
         """Drain the ingress queue into the owner's handler, in order."""
+        engine = self.engine
         while True:
             tlp = yield self.ingress.get()
             self.tlps_received += 1
-            if self.engine.tracer is not None:
-                self.engine.trace(self.name, "tlp-recv", tlp=tlp.kind.value,
-                                  addr=tlp.address, bytes=tlp.wire_bytes)
+            tracer = engine.tracer
+            if tracer is not None:
+                tracer.emit(engine.now_ps, self.name, "tlp-recv",
+                            tlp=tlp.kind.value, addr=tlp.address,
+                            bytes=tlp.wire_bytes)
             if self.ingress_drained is not None:
                 self.ingress_drained()
             result = self.owner.handle_tlp(self, tlp)

@@ -45,6 +45,9 @@ class PCIeSwitch(Device):
         self.tlps_forwarded = 0
         #: Packets lost inside the crossbar (fault injection only).
         self.tlps_dropped = 0
+        # Forwarded-counter handle, bound once per registry (hit per TLP).
+        self._bound_metrics = None
+        self._m_forwarded = None
 
     def new_port(self, name: str, role: PortRole = PortRole.RC,
                  rx_credits: int = 32) -> Port:
@@ -109,8 +112,13 @@ class PCIeSwitch(Device):
         if self.engine.tracer is not None:
             self.engine.trace(self.name, "switch-forward",
                               tlp=tlp.kind.value, out=out.name)
-        if self.engine.metrics is not None:
-            self.engine.metrics.counter(f"switch.{self.name}.forwarded").inc()
+        metrics = self.engine.metrics
+        if metrics is not None:
+            if metrics is not self._bound_metrics:
+                self._bound_metrics = metrics
+                self._m_forwarded = metrics.counter(
+                    f"switch.{self.name}.forwarded")
+            self._m_forwarded.inc()
         accepted = self._egress[id(out)].submit(tlp)
         if not accepted.fired:
             yield accepted

@@ -82,11 +82,8 @@ class TLP:
                     f"but length says {self.length} B")
         elif self.kind is TLPKind.MRD and self.payload is not None:
             raise PCIeError("MRd must not carry a payload")
-
-    @property
-    def wire_bytes(self) -> int:
-        """Total bytes the packet occupies on a link, framing included."""
-        return tlp_wire_bytes(self.kind, self.length)
+        # Computed once: every hop (port, link, switch, tracer) reads it.
+        self.wire_bytes = tlp_wire_bytes(self.kind, self.length)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"TLP({self.kind.value} addr=0x{self.address:x} "

@@ -19,7 +19,9 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import (Any, Callable, Deque, Generator, Iterable, List, Optional,
+                    Set, Tuple)
 
 from repro.errors import SimulationError
 from repro.units import PS_PER_NS
@@ -47,40 +49,74 @@ class Signal:
     A signal remembers that it fired, so waiting on an already-fired signal
     resumes immediately with the stored value.  Firing twice is an error —
     it almost always indicates a protocol bug in a hardware model.
+
+    A pending signal can be cancelled via :meth:`cancel`: its scheduled fire (if any)
+    is withdrawn from the event heap, waiters are dropped, and later fires
+    become no-ops.  This is how the loser of a wait-with-timeout race is
+    retired without padding drain-mode runs to the timer's expiry.
     """
 
-    __slots__ = ("engine", "fired", "value", "_waiters", "name")
+    __slots__ = ("engine", "fired", "cancelled", "value", "_waiters", "name",
+                 "_timer")
 
     def __init__(self, engine: "Engine", name: str = ""):
         self.engine = engine
         self.fired = False
+        self.cancelled = False
         self.value: Any = None
         self.name = name
-        self._waiters: List[Callable[[Any], None]] = []
+        # Lazily allocated: most signals fire before anyone waits, and a
+        # fresh list per signal shows up in profiles (one Signal per
+        # queue operation on the hot path).
+        self._waiters: Optional[List[Callable[[Any], None]]] = None
+        self._timer: Optional[int] = None
 
     def fire(self, value: Any = None) -> None:
         """Fire the signal now; waiters resume at the current time."""
+        if self.cancelled:
+            return
         if self.fired:
             raise SimulationError(f"signal {self.name!r} fired twice")
         self.fired = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
-        for callback in waiters:
-            self.engine.call_soon(callback, value)
+        self._timer = None
+        waiters = self._waiters
+        if waiters is not None:
+            self._waiters = None
+            for callback in waiters:
+                self.engine.call_soon(callback, value)
 
     def fire_after(self, delay_ps: int, value: Any = None) -> None:
         """Schedule the signal to fire ``delay_ps`` from now."""
-        self.engine.after(delay_ps, self.fire, value)
+        self._timer = self.engine.after(delay_ps, self.fire, value)
+
+    def cancel(self) -> None:
+        """Retire a pending signal: drop waiters, void any scheduled fire.
+
+        Cancelling an already-fired signal is a no-op (the race was lost
+        anyway); cancelling twice is harmless.
+        """
+        if self.fired or self.cancelled:
+            return
+        self.cancelled = True
+        self._waiters = None
+        if self._timer is not None:
+            self.engine.cancel_event(self._timer)
+            self._timer = None
 
     def add_callback(self, callback: Callable[[Any], None]) -> None:
         """Run ``callback(value)`` when the signal fires (or now if it has)."""
         if self.fired:
             self.engine.call_soon(callback, self.value)
-        else:
-            self._waiters.append(callback)
+        elif not self.cancelled:
+            if self._waiters is None:
+                self._waiters = [callback]
+            else:
+                self._waiters.append(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "fired" if self.fired else "pending"
+        state = ("fired" if self.fired
+                 else "cancelled" if self.cancelled else "pending")
         return f"Signal({self.name!r}, {state})"
 
 
@@ -135,12 +171,14 @@ class Process:
         self._wait_on(yielded)
 
     def _wait_on(self, yielded: Any) -> None:
+        # Ordered by frequency on the hot path: bare-int delays and
+        # Signals dominate; explicit Delay objects and Processes are rare.
         if isinstance(yielded, int):
-            yielded = Delay(yielded)
-        if isinstance(yielded, Delay):
-            self.engine.after(yielded.duration_ps, self._step, None)
+            self.engine.after(yielded, self._step, None)
         elif isinstance(yielded, Signal):
             yielded.add_callback(self._step)
+        elif isinstance(yielded, Delay):
+            self.engine.after(yielded.duration_ps, self._step, None)
         elif isinstance(yielded, Process):
             child = yielded
 
@@ -184,12 +222,29 @@ def unregister_engine_observer(callback: Callable[["Engine"], None]) -> None:
 
 
 class Engine:
-    """The event loop: an integer-picosecond heap scheduler."""
+    """The event loop: an integer-picosecond heap scheduler.
+
+    Two internal queues carry events:
+
+    * the **heap**, ordered by ``(time_ps, sequence)``, for anything
+      scheduled at a future time;
+    * the **ready deque**, a FIFO fast path for :meth:`call_soon` — the
+      dominant scheduling call (every signal fire goes through it), which
+      never needs heap ordering because it always targets *now*.
+
+    The global sequence number spans both queues, and :meth:`step` always
+    picks the lowest ``(time, sequence)`` across them, so the event order
+    is bit-identical to a pure-heap scheduler — just cheaper.
+    """
 
     def __init__(self) -> None:
         self._now_ps = 0
         self._sequence = 0
         self._heap: List[Tuple[int, int, Callable[..., None], tuple]] = []
+        #: call_soon fast path: (sequence, callback, args), all at now.
+        self._ready: Deque[Tuple[int, Callable[..., None], tuple]] = deque()
+        #: Sequence numbers of cancelled events, discarded lazily at pop.
+        self._cancelled: Set[int] = set()
         self.events_processed = 0
         #: Optional observability hook (repro.sim.trace.Tracer); hardware
         #: models emit routing/DMA/IRQ events through it when set.
@@ -225,23 +280,52 @@ class Engine:
 
     # -- scheduling ----------------------------------------------------------
 
-    def at(self, time_ps: int, callback: Callable[..., None], *args: Any) -> None:
-        """Run ``callback(*args)`` at absolute simulated time ``time_ps``."""
+    def at(self, time_ps: int, callback: Callable[..., None], *args: Any) -> int:
+        """Run ``callback(*args)`` at absolute simulated time ``time_ps``.
+
+        Returns an opaque token accepted by :meth:`cancel_event`.
+        """
         if time_ps < self._now_ps:
             raise SimulationError(
                 f"cannot schedule in the past ({time_ps} < {self._now_ps})")
-        heapq.heappush(self._heap, (int(time_ps), self._sequence, callback, args))
+        token = self._sequence
+        heapq.heappush(self._heap, (int(time_ps), token, callback, args))
         self._sequence += 1
+        return token
 
-    def after(self, delay_ps: int, callback: Callable[..., None], *args: Any) -> None:
-        """Run ``callback(*args)`` after ``delay_ps`` picoseconds."""
+    def after(self, delay_ps: int, callback: Callable[..., None], *args: Any) -> int:
+        """Run ``callback(*args)`` after ``delay_ps`` picoseconds.
+
+        Returns an opaque token accepted by :meth:`cancel_event`.
+        """
         if delay_ps < 0:
             raise SimulationError(f"negative delay: {delay_ps}")
-        self.at(self._now_ps + int(delay_ps), callback, *args)
+        token = self._sequence
+        heapq.heappush(self._heap,
+                       (self._now_ps + int(delay_ps), token, callback, args))
+        self._sequence += 1
+        return token
 
-    def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
-        """Run ``callback(*args)`` at the current time, after pending events."""
-        self.at(self._now_ps, callback, *args)
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> int:
+        """Run ``callback(*args)`` at the current time, after pending events.
+
+        Returns an opaque token accepted by :meth:`cancel_event`.
+        """
+        token = self._sequence
+        self._ready.append((token, callback, args))
+        self._sequence += 1
+        return token
+
+    def cancel_event(self, token: int) -> None:
+        """Withdraw a scheduled event before it runs.
+
+        The event's queue entry is discarded lazily when it reaches the
+        front, **without** advancing the clock or counting it in
+        ``events_processed`` — a cancelled timer leaves no trace on a
+        drain-mode run.  Cancelling an event that already ran is harmless
+        (the stale token is ignored).
+        """
+        self._cancelled.add(token)
 
     # -- factories -----------------------------------------------------------
 
@@ -256,30 +340,66 @@ class Engine:
     # -- running ---------------------------------------------------------------
 
     def step(self) -> bool:
-        """Process one event; return False if the heap was empty."""
-        if not self._heap:
-            return False
-        time_ps, _seq, callback, args = heapq.heappop(self._heap)
-        self._now_ps = time_ps
-        self.events_processed += 1
-        callback(*args)
-        return True
+        """Process one event; return False if no runnable event remains.
+
+        Picks the lowest ``(time, sequence)`` across the ready deque and
+        the heap; cancelled entries are discarded without running, without
+        advancing the clock and without counting.
+        """
+        ready = self._ready
+        heap = self._heap
+        cancelled = self._cancelled
+        while True:
+            if ready and (not heap or heap[0][0] > self._now_ps
+                          or heap[0][1] > ready[0][0]):
+                seq, callback, args = ready.popleft()
+                time_ps = self._now_ps
+            elif heap:
+                time_ps, seq, callback, args = heapq.heappop(heap)
+            else:
+                return False
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            self._now_ps = time_ps
+            self.events_processed += 1
+            callback(*args)
+            return True
 
     def run(self, until_ps: Optional[int] = None,
             max_events: Optional[int] = None) -> int:
-        """Run until the heap drains, ``until_ps`` passes, or ``max_events``.
+        """Run until the queues drain, ``until_ps`` passes, or ``max_events``.
 
-        Returns the simulated time (ps) when the loop stopped.
+        Returns the simulated time (ps) when the loop stopped.  With
+        ``until_ps`` the clock always lands exactly on ``until_ps`` when
+        the loop stops for time — whether the next event lies beyond the
+        bound or the queues drained early — so drain-to-a-deadline runs
+        report consistent windows.  Stopping on ``max_events`` leaves the
+        clock at the last processed event.
         """
         processed = 0
-        while self._heap:
-            if until_ps is not None and self._heap[0][0] > until_ps:
-                self._now_ps = until_ps
-                break
+        while True:
+            # Discard cancelled heads so the until_ps peek below (and the
+            # drained-queue exit) only ever see live events.
+            ready = self._ready
+            cancelled = self._cancelled
+            while ready and cancelled and ready[0][0] in cancelled:
+                cancelled.discard(ready.popleft()[0])
+            if not ready:
+                heap = self._heap
+                while heap and cancelled and heap[0][1] in cancelled:
+                    cancelled.discard(heapq.heappop(heap)[1])
+                if not heap:
+                    break
+                if until_ps is not None and heap[0][0] > until_ps:
+                    break
             if max_events is not None and processed >= max_events:
+                return self._now_ps
+            if not self.step():
                 break
-            self.step()
             processed += 1
+        if until_ps is not None and self._now_ps < until_ps:
+            self._now_ps = until_ps
         return self._now_ps
 
     def run_process(self, generator: ProcessGen, name: str = "") -> Any:
@@ -331,6 +451,12 @@ def first_of(engine: Engine, waitables: Iterable[Any]) -> Signal:
     Later finishers are ignored (their callbacks find the race already
     decided).  This is the primitive behind every wait-with-timeout: race
     the interesting signal against a timer.
+
+    ``first_of`` never cancels the losers itself — a loser may be shared
+    (the completion signal of a chain that outlives one timeout round) —
+    but a caller that *owns* a losing :class:`Signal` should
+    :meth:`~Signal.cancel` it, or its scheduled events stay in the heap
+    and pad drain-mode runs to the timer's full expiry.
     """
     items = list(waitables)
     if not items:

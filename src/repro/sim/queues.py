@@ -30,6 +30,10 @@ class Store:
         self.engine = engine
         self.capacity = capacity
         self.name = name
+        # Signal names are built once here, not per operation: puts and
+        # gets run once per TLP, and the f-string shows up in profiles.
+        self._put_name = f"{name}.put"
+        self._get_name = f"{name}.get"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Signal] = deque()
         self._putters: Deque[tuple] = deque()  # (signal, item)
@@ -46,7 +50,7 @@ class Store:
 
     def put(self, item: Any) -> Signal:
         """Offer an item; the returned signal fires once it is enqueued."""
-        accepted = self.engine.signal(f"{self.name}.put")
+        accepted = Signal(self.engine, self._put_name)
         if self._getters:
             # Hand the item straight to the oldest waiting getter.
             getter = self._getters.popleft()
@@ -71,7 +75,7 @@ class Store:
 
     def get(self) -> Signal:
         """Request the next item; the returned signal fires with it."""
-        got = self.engine.signal(f"{self.name}.get")
+        got = Signal(self.engine, self._get_name)
         if self._items:
             item = self._items.popleft()
             got.fire(item)
@@ -106,6 +110,7 @@ class Latch:
     def __init__(self, engine: Engine, name: str = ""):
         self.engine = engine
         self.name = name
+        self._zero_name = f"{name}.zero"
         self.count = 0
         self._waiters: Deque[Signal] = deque()
 
@@ -127,7 +132,7 @@ class Latch:
 
     def wait_zero(self) -> Signal:
         """Signal that fires when the count is (or becomes) zero."""
-        done = self.engine.signal(f"{self.name}.zero")
+        done = self.engine.signal(self._zero_name)
         if self.count == 0:
             done.fire()
         else:
@@ -148,6 +153,7 @@ class Resource:
         self.engine = engine
         self.capacity = capacity
         self.name = name
+        self._acquire_name = f"{name}.acquire"
         self.in_use = 0
         self._waiters: Deque[Signal] = deque()
 
@@ -158,7 +164,7 @@ class Resource:
 
     def acquire(self) -> Signal:
         """Request a slot; the returned signal fires once granted."""
-        granted = self.engine.signal(f"{self.name}.acquire")
+        granted = Signal(self.engine, self._acquire_name)
         if self.in_use < self.capacity:
             self.in_use += 1
             granted.fire()

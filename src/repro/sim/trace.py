@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceRecord:
     """One trace event: time, component, event kind, free-form details."""
 

@@ -73,6 +73,25 @@ class TestPEACH2Driver:
         elapsed = node.engine.run_process(driver.run_chain(0, chain))
         assert elapsed == node.engine.now_ps  # started at t=0
 
+    def test_reliable_chain_cancels_losing_timeout_timer(self, rig):
+        # Regression: the retry-timeout timer lost the first_of race to
+        # the completion IRQ but stayed in the heap, so the next drain
+        # ran the clock all the way out to the 1 ms timeout expiry.
+        from repro.drivers.peach2_driver import RetryPolicy
+
+        node, board, driver = rig
+        board.chip.internal.write(0, np.zeros(128, dtype=np.uint8))
+        chain = [DMADescriptor(board.chip.bar2.base, driver.dma_buffer(0),
+                               128)]
+        policy = RetryPolicy(completion_timeout_ps=1_000_000_000)
+        elapsed = node.engine.run_process(
+            driver.run_chain_reliable(0, chain, policy))
+        done_ps = node.engine.now_ps
+        assert elapsed == done_ps
+        node.engine.run()  # drain: the stale timer used to fire here
+        assert node.engine.now_ps == done_ps
+        assert done_ps < policy.completion_timeout_ps
+
     def test_double_doorbell_rejected(self, rig):
         node, board, driver = rig
         board.chip.internal.write(0, np.zeros(64, dtype=np.uint8))

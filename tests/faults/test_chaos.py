@@ -51,12 +51,15 @@ def test_chaos_is_deterministic():
 
 
 def test_seed_changes_the_fault_sequence():
+    # duration_ps is no longer a discriminator: since stale timeout
+    # timers are cancelled, every run drains at the same wind-down point.
+    # The event-schedule fingerprint still shifts with the fault timing.
     a = run_chaos(FaultPlan.preset("flaky-links", seed=1), num_nodes=4,
                   pingpong_iterations=4, dma_bytes=8192, cut_east_node=None)
     b = run_chaos(FaultPlan.preset("flaky-links", seed=2), num_nodes=4,
                   pingpong_iterations=4, dma_bytes=8192, cut_east_node=None)
-    assert a.faults_injected != b.faults_injected or a.duration_ps != \
-        b.duration_ps
+    assert (a.faults_injected != b.faults_injected
+            or a.events_processed != b.events_processed)
 
 
 def test_empty_plan_without_cut_needs_no_recovery():

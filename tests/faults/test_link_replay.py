@@ -67,6 +67,32 @@ class TestNakReplay:
             assert np.array_equal(got.payload, expected)
         assert link.replays > 0  # the plan actually did something
 
+    def test_replay_counts_wire_traffic_not_goodput(self, engine):
+        # Regression: a NAK'd-then-replayed TLP used to be counted twice
+        # in tlps_carried/bytes_carried, inflating every goodput number
+        # derived from them.  Goodput counts each TLP once; the extra
+        # serializations belong to the wire-traffic counters.
+        arm(engine, TLPCorrupt(probability=1.0, end_ps=ns(100)))
+        a, b, link = make_pair(engine)
+        a.port.send(make_write(0, np.zeros(256, dtype=np.uint8)))
+        engine.run()
+        assert len(b.received) == 1
+        assert link.tlps_carried == 1
+        assert link.bytes_carried == 280  # one framed 256-B write
+        # Two serializations crossed the wire: original + replay.
+        assert link.wire_tlps_carried == 2
+        assert link.wire_bytes_carried == 560
+        # wire - carried == bandwidth burned on DLL reliability.
+        assert link.wire_bytes_carried - link.bytes_carried == 280
+
+    def test_unfaulted_run_has_equal_wire_and_goodput(self, engine):
+        arm(engine)
+        a, b, link = make_pair(engine)
+        a.port.send(make_write(0, np.zeros(256, dtype=np.uint8)))
+        engine.run()
+        assert link.wire_tlps_carried == link.tlps_carried == 1
+        assert link.wire_bytes_carried == link.bytes_carried == 280
+
     def test_unfaulted_timing_unchanged_by_armed_injector(self, engine):
         # Armed-but-quiet injector: same numbers as the bare link test.
         arm(engine)

@@ -47,6 +47,32 @@ def test_gauge_without_clock_requires_explicit_time():
         g.set(1)
 
 
+def test_gauge_mean_without_clock_falls_back_to_last_sample():
+    # Regression: a clockless gauge reported mean=None from to_dict()
+    # even with perfectly good samples, so exporters silently dropped
+    # the one number the gauge exists to produce.
+    g = Gauge("clockless")
+    g.set(1, time_ps=0)
+    g.set(0, time_ps=30)
+    g.set(0, time_ps=100)
+    assert g.mean() == pytest.approx(0.3)
+    assert g.to_dict()["mean"] == pytest.approx(0.3)
+
+
+def test_gauge_mean_single_sample_no_clock():
+    g = Gauge("one")
+    g.set(5, time_ps=42)
+    # Zero-width window: the level itself, never None, never a crash.
+    assert g.mean() == pytest.approx(5.0)
+    assert g.to_dict()["mean"] == pytest.approx(5.0)
+
+
+def test_gauge_mean_unsampled_is_none():
+    g = Gauge("never")
+    assert g.mean() is None
+    assert g.to_dict()["mean"] is None
+
+
 def test_histogram_percentiles_interpolate():
     h = Histogram("lat")
     for v in [10, 20, 30, 40]:
@@ -69,6 +95,56 @@ def test_histogram_empty_and_bounds():
     with pytest.raises(ValueError):
         h.percentile(101)
     assert h.percentile(90) == 7
+
+
+def test_histogram_reservoir_bounds_memory():
+    h = Histogram("lat", reservoir=64)
+    for v in range(10_000):
+        h.observe(float(v))
+    assert len(h.values) == 64
+    # count/mean/min/max stay exact regardless of sampling.
+    assert h.count == 10_000
+    assert h.mean() == pytest.approx(4999.5)
+    summary = h.summary()
+    assert summary["count"] == 10_000
+    assert summary["min"] == 0.0
+    assert summary["max"] == 9999.0
+    # Percentiles are estimates from a uniform sample of the stream.
+    assert 0.0 <= summary["p50"] <= 9999.0
+
+
+def test_histogram_reservoir_is_deterministic():
+    def run():
+        h = Histogram("lat", reservoir=16)
+        for v in range(1000):
+            h.observe(float(v))
+        return list(h.values)
+
+    assert run() == run()
+
+
+def test_histogram_reservoir_below_capacity_is_exact():
+    h = Histogram("lat", reservoir=100)
+    for v in [10, 20, 30, 40]:
+        h.observe(v)
+    assert h.percentile(50) == pytest.approx(25.0)
+    assert sorted(h.values) == [10, 20, 30, 40]
+
+
+def test_histogram_reservoir_must_be_positive():
+    with pytest.raises(ValueError):
+        Histogram("lat", reservoir=0)
+
+
+def test_registry_histogram_reservoir_default():
+    reg = MetricsRegistry(histogram_reservoir=8)
+    h = reg.histogram("a")
+    assert h.reservoir == 8
+    # Per-call override beats the registry default.
+    assert reg.histogram("b", reservoir=3).reservoir == 3
+    for v in range(100):
+        h.observe(float(v))
+    assert len(h.values) == 8 and h.count == 100
 
 
 def test_registry_get_or_create_and_type_clash():

@@ -75,6 +75,40 @@ def test_armed_empty_fault_plan_pio_is_cycle_exact():
     assert rig.pio_commit_latency_ns() == bare
 
 
+def test_reservoir_histograms_are_cycle_exact():
+    # Bounded-memory sampling draws from a private RNG in pure
+    # bookkeeping; it must not touch the event schedule.
+    bare = _cell("write", "cpu", 256, False)
+    obs = Observability(histogram_reservoir=16)
+    with obs.session():
+        rig = SingleNodeRig()
+    elapsed, _ = rig.measure("write", "cpu", 256, count=32)
+    assert elapsed == bare
+
+
+def test_registry_swap_rebinds_handles_cycle_exact():
+    # Components cache per-registry instrument handles; swapping in a
+    # fresh registry mid-life must rebind transparently and leave the
+    # measurement picosecond-identical.
+    control = SingleNodeRig()
+    control.measure("write", "cpu", 256, count=32)
+    second_bare, _ = control.measure("write", "cpu", 1024, count=32)
+
+    obs_a = Observability()
+    with obs_a.session():
+        rig = SingleNodeRig()
+    rig.measure("write", "cpu", 256, count=32)
+    obs_b = Observability()
+    obs_b.attach(rig.engine, label="second-registry")
+    second_swapped, _ = rig.measure("write", "cpu", 1024, count=32)
+    assert second_swapped == second_bare
+    # Both registries hold real samples: the rebind actually happened.
+    reg_a = obs_a.registry_for(rig.engine)
+    reg_b = obs_b.registry_for(rig.engine)
+    assert any(n.startswith("link.") for n in reg_a.names())
+    assert any(n.startswith("link.") for n in reg_b.names())
+
+
 def test_attach_only_sets_attributes():
     engine = Engine()
     before = engine.now_ps

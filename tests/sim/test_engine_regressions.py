@@ -1,0 +1,210 @@
+"""Regression tests for engine time/timeout accounting bugs.
+
+Each test here pins a specific historical bug:
+
+* ``run(until_ps=...)`` returned the last event's time instead of the
+  bound when the heap drained early;
+* winner-takes-all races (``first_of``) leaked the loser's scheduled
+  event, padding drain-mode runs to the stale timer's full expiry;
+* cancelled events advanced the clock and the processed-events counter.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import Engine, Signal, first_of
+
+
+class TestRunUntilAdvancesOnEarlyDrain:
+    """run(until_ps=X) must leave the clock at X even if events run out."""
+
+    def test_clock_advances_to_bound_when_heap_drains(self, engine):
+        # The original bug: one event at 100, run(until_ps=10_000)
+        # returned 100 -- every caller computing "quiet time until the
+        # horizon" under-reported by the drained gap.
+        engine.after(100, lambda: None)
+        stopped = engine.run(until_ps=10_000)
+        assert stopped == 10_000
+        assert engine.now_ps == 10_000
+
+    def test_clock_advances_on_empty_schedule(self, engine):
+        assert engine.run(until_ps=777) == 777
+        assert engine.now_ps == 777
+
+    def test_scheduling_after_early_drain_respects_new_now(self, engine):
+        engine.run(until_ps=5_000)
+        # 4_000 is now in the past; the engine must say so.
+        with pytest.raises(SimulationError):
+            engine.at(4_000, lambda: None)
+
+    def test_unbounded_run_still_stops_at_last_event(self, engine):
+        engine.after(300, lambda: None)
+        engine.run()
+        assert engine.now_ps == 300
+
+
+class TestEventCancellation:
+    def test_cancelled_timer_never_runs(self, engine):
+        fired = []
+        token = engine.after(1_000, fired.append, "x")
+        engine.cancel_event(token)
+        engine.run()
+        assert fired == []
+
+    def test_cancelled_event_leaves_no_trace_on_drain(self, engine):
+        # A cancelled timer must not advance the clock of a drain-mode
+        # run, nor count as a processed event.
+        engine.after(10, lambda: None)
+        token = engine.after(1_000_000, lambda: None)
+        engine.cancel_event(token)
+        engine.run()
+        assert engine.now_ps == 10
+        assert engine.events_processed == 1
+
+    def test_cancelled_call_soon_skipped(self, engine):
+        ran = []
+        keep = engine.call_soon(ran.append, "keep")
+        drop = engine.call_soon(ran.append, "drop")
+        engine.cancel_event(drop)
+        engine.run()
+        assert ran == ["keep"]
+        assert keep != drop
+
+    def test_cancel_after_run_is_harmless(self, engine):
+        token = engine.after(5, lambda: None)
+        engine.run()
+        engine.cancel_event(token)  # stale token: ignored
+        engine.after(10, lambda: None)
+        engine.run()
+        assert engine.now_ps == 15
+
+    def test_until_ps_reached_when_only_cancelled_events_remain(self, engine):
+        token = engine.after(50_000, lambda: None)
+        engine.cancel_event(token)
+        assert engine.run(until_ps=20_000) == 20_000
+        assert engine.events_processed == 0
+
+
+class TestSignalCancel:
+    def test_cancel_voids_scheduled_fire(self, engine):
+        sig = engine.signal("victim")
+        sig.fire_after(1_000_000)
+        sig.cancel()
+        engine.run()
+        # The whole point: no stale event pads the drain to 1 us.
+        assert engine.now_ps == 0
+        assert not sig.fired
+
+    def test_cancel_drops_waiters(self, engine):
+        sig = engine.signal()
+        woken = []
+        sig.add_callback(woken.append)
+        sig.cancel()
+        sig.fire()  # post-cancel fire is a no-op, not an error
+        engine.run()
+        assert woken == []
+        assert not sig.fired
+
+    def test_add_callback_after_cancel_is_noop(self, engine):
+        sig = engine.signal()
+        sig.cancel()
+        woken = []
+        sig.add_callback(woken.append)
+        engine.run()
+        assert woken == []
+
+    def test_cancel_fired_signal_is_noop(self, engine):
+        sig = engine.signal()
+        sig.fire(7)
+        sig.cancel()
+        assert sig.fired and sig.value == 7
+
+    def test_double_cancel_is_harmless(self, engine):
+        sig = engine.signal()
+        sig.fire_after(100)
+        sig.cancel()
+        sig.cancel()
+        engine.run()
+        assert engine.now_ps == 0
+
+
+class TestFirstOfLoserCancellation:
+    """The wait-with-timeout pattern must not leak the losing timer."""
+
+    def test_cancelled_loser_does_not_pad_drain(self, engine):
+        # The original leak, in miniature: a 500 ps winner raced against
+        # a 1 ms timer padded every subsequent engine.run() to 1 ms.
+        done = engine.signal("done")
+        done.fire_after(500, "value")
+        timer = engine.signal("timeout")
+        timer.fire_after(1_000_000)
+        outcome = []
+
+        def waiter():
+            index, value = yield first_of(engine, [done, timer])
+            if index == 0:
+                timer.cancel()
+            outcome.append((index, value))
+
+        engine.process(waiter())
+        engine.run()
+        assert outcome == [(0, "value")]
+        assert engine.now_ps == 500
+
+    def test_uncancelled_loser_still_fires_harmlessly(self, engine):
+        # first_of itself never cancels: a shared loser must stay usable.
+        done = engine.signal("done")
+        done.fire_after(500, "v")
+        timer = engine.signal("timeout")
+        timer.fire_after(2_000)
+        engine.process(self._race(engine, done, timer))
+        engine.run()
+        assert engine.now_ps == 2_000
+        assert timer.fired
+
+    @staticmethod
+    def _race(engine, done, timer):
+        yield first_of(engine, [done, timer])
+
+
+class TestReadyHeapInterleaving:
+    """call_soon's FIFO fast path must keep global (time, seq) order."""
+
+    def test_same_time_heap_and_ready_interleave_by_sequence(self, engine):
+        order = []
+        engine.after(0, order.append, "heap-0")
+        engine.call_soon(order.append, "soon-0")
+        engine.after(0, order.append, "heap-1")
+        engine.call_soon(order.append, "soon-1")
+        engine.run()
+        assert order == ["heap-0", "soon-0", "heap-1", "soon-1"]
+
+    def test_call_soon_runs_before_future_heap_events(self, engine):
+        order = []
+        engine.after(10, order.append, "later")
+        engine.call_soon(order.append, "now")
+        engine.run()
+        assert order == ["now", "later"]
+
+    def test_call_soon_from_callback_runs_at_same_time(self, engine):
+        times = []
+
+        def outer():
+            engine.call_soon(lambda: times.append(engine.now_ps))
+
+        engine.after(40, outer)
+        engine.after(50, lambda: None)
+        engine.run()
+        assert times == [40]
+
+    def test_mixed_schedule_is_deterministic(self):
+        def build():
+            eng = Engine()
+            order = []
+            for i in range(5):
+                eng.after(i % 2, order.append, ("at", i))
+                eng.call_soon(order.append, ("soon", i))
+            eng.run()
+            return order
+
+        assert build() == build()
