@@ -1,0 +1,155 @@
+"""Content-addressed result store for the experiment suite.
+
+Every experiment result is cached under a key derived from everything
+that could change the result:
+
+* the registry entry name and the exact parameters it ran with,
+* the calibration fingerprint (every constant of
+  :class:`~repro.model.calibration.Calibration`, hashed),
+* the source fingerprint (every ``.py`` file of the ``repro`` package,
+  hashed), and
+* the suite seed.
+
+A warm ``tca-bench suite`` therefore returns byte-identical payloads
+instantly, while *any* model change — a calibration constant, a line of
+simulator source — misses the cache and re-measures.  The store is a
+plain directory of JSON documents (``<key[:2]>/<key>.json``), safe to
+delete at any time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import importlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence
+
+#: Version tag of the on-disk cache documents; bump to invalidate.
+SCHEMA = "tca-bench-cache/1"
+
+#: Environment override for the cache directory.
+ENV_CACHE_DIR = "TCA_BENCH_CACHE_DIR"
+
+#: Default cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".tca-bench-cache"
+
+
+def default_cache_dir() -> Path:
+    """The configured cache root: ``$TCA_BENCH_CACHE_DIR`` or CWD-local."""
+    return Path(os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR)
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def hash_files(files: Iterable[Path], root: Optional[Path] = None) -> str:
+    """SHA-256 over (relative path, content) of every file, sorted."""
+    digest = hashlib.sha256()
+    for path in sorted(Path(f) for f in files):
+        name = str(path.relative_to(root)) if root else path.name
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def sources_fingerprint(packages: Sequence[str] = ("repro",)) -> str:
+    """Hash every ``.py`` source file of the given packages."""
+    digest = hashlib.sha256()
+    for name in packages:
+        module = importlib.import_module(name)
+        paths = getattr(module, "__path__", None)
+        if paths is None:
+            digest.update(hash_files([Path(module.__file__)]).encode())
+            continue
+        for base in paths:
+            base = Path(base)
+            digest.update(hash_files(sorted(base.rglob("*.py")),
+                                     root=base).encode())
+    return digest.hexdigest()
+
+
+def cache_key(entry: str, params: Dict[str, object], calibration_fp: str,
+              sources_fp: str, seed: int) -> str:
+    """The content address of one experiment result."""
+    blob = canonical_json({
+        "schema": SCHEMA,
+        "entry": entry,
+        "params": params,
+        "calibration": calibration_fp,
+        "sources": sources_fp,
+        "seed": seed,
+    })
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of cached experiment payloads, addressed by content key.
+
+    ``get`` and ``put`` move *canonical payload text* (the exact JSON the
+    suite reports), so a cache hit is byte-identical to the cold run that
+    produced it.
+    """
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the document for ``key`` lives on disk."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[str]:
+        """The cached canonical payload text, or None on a miss."""
+        path = self.path_for(key)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if doc.get("schema") != SCHEMA or doc.get("key") != key:
+            self.misses += 1
+            return None
+        payload = doc.get("payload_json")
+        if not isinstance(payload, str):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, entry: str, payload_json: str,
+            meta: Optional[Dict[str, object]] = None) -> Path:
+        """Store one payload; atomic via rename, last writer wins."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": SCHEMA,
+            "key": key,
+            "entry": entry,
+            "payload_json": payload_json,
+            "meta": meta or {},
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=1)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters for this cache object's lifetime."""
+        return {"hits": self.hits, "misses": self.misses}

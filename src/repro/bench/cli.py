@@ -29,29 +29,20 @@ import sys
 from typing import Callable, Dict
 
 from repro.bench import experiments
+from repro.bench.experiments import REGISTRY
 from repro.bench.series import SweepTable
 from repro.errors import ReproError
 
+
+def _registry_runner(spec) -> Callable[[], object]:
+    return lambda: spec.run("full")
+
+
+#: Every runnable name: the E1-E19 registry plus the utility commands.
+#: ``suite`` is handled separately (it orchestrates the registry).
 EXPERIMENTS: Dict[str, Callable[[], object]] = {
-    "table1": experiments.table1,
-    "table2": experiments.table2,
-    "theory": experiments.theory,
-    "fig7": experiments.fig7,
-    "fig8": experiments.fig8,
-    "fig9": experiments.fig9,
-    "limits": experiments.limits,
-    "latency": experiments.latency,
-    "fig12": experiments.fig12,
-    "comparison-host": experiments.comparison_host,
-    "comparison-gpu": experiments.comparison_gpu,
-    "pio-dma-crossover": experiments.pio_dma_crossover,
-    "hierarchy": experiments.hierarchy,
-    "collectives": experiments.collectives,
-    "contention": experiments.contention,
+    **{name: _registry_runner(spec) for name, spec in REGISTRY.items()},
     "validate": lambda: _validate(),
-    "ablation-dmac": experiments.ablation_dmac,
-    "ablation-ring": experiments.ablation_ring,
-    "ablation-ntb": experiments.ablation_ntb,
     "perf": lambda: _perf(),
 }
 
@@ -66,6 +57,59 @@ def _validate() -> str:
     from repro.model.validate import render_validation, validate_calibration
 
     return render_validation(validate_calibration())
+
+
+def _suite_main(args) -> int:
+    """The ``tca-bench suite`` subcommand (see docs/experiments.md)."""
+    from repro.bench.cache import ResultCache
+    from repro.bench.suite import render_experiments_md, run_suite
+
+    if args.smoke and args.tiny:
+        print("error: --smoke and --tiny are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    mode = "smoke" if args.smoke else "tiny" if args.tiny else "full"
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        report = run_suite(shards=args.shards, mode=mode, cache=cache,
+                           force=args.force, seed=args.seed,
+                           log=lambda msg: print(msg, file=sys.stderr))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.report:
+        try:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
+            return 1
+        print(f"conformance report -> {args.report}", file=sys.stderr)
+
+    if args.render_md:
+        try:
+            with open(args.render_md, "r", encoding="utf-8") as fh:
+                text = fh.read()
+            text, updated = render_experiments_md(report.payloads, text)
+            with open(args.render_md, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        except OSError as exc:
+            print(f"error: cannot render tables: {exc}", file=sys.stderr)
+            return 1
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"regenerated {len(updated)} tables -> {args.render_md}",
+              file=sys.stderr)
+
+    if args.json:
+        sys.stdout.write(report.payloads_json())
+        print()
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def render(result: object, chart: bool = False) -> str:
@@ -123,13 +167,44 @@ def main(argv=None) -> int:
                         help="with the 'perf' experiment: write the "
                              "wall-clock benchmark document to PATH "
                              "(see docs/performance.md)")
+    group = parser.add_argument_group(
+        "suite options", "only meaningful with the 'suite' experiment "
+        "(see docs/experiments.md)")
+    group.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="number of worker processes (default 1)")
+    group.add_argument("--smoke", action="store_true",
+                       help="reduced sweeps that keep every anchor point")
+    group.add_argument("--tiny", action="store_true",
+                       help="minimal sweeps (determinism testing; most "
+                            "anchors are skipped)")
+    group.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="result-cache directory (default "
+                            "$TCA_BENCH_CACHE_DIR or .tca-bench-cache)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely")
+    group.add_argument("--force", action="store_true",
+                       help="ignore cache hits but still store results")
+    group.add_argument("--seed", type=int, default=0,
+                       help="suite seed, folded into every entry seed "
+                            "and cache key (default 0)")
+    group.add_argument("--report", metavar="PATH", default=None,
+                       help="write the tca-bench-suite/1 conformance "
+                            "report JSON to PATH")
+    group.add_argument("--render-md", metavar="PATH", nargs="?",
+                       const="EXPERIMENTS.md", default=None,
+                       help="regenerate the marked tables of EXPERIMENTS.md"
+                            " (or PATH) from the live results")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
         print("available experiments:")
         for name in EXPERIMENTS:
             print(f"  {name}")
+        print("  suite")
         return 0
+
+    if args.experiment == "suite":
+        return _suite_main(args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

@@ -9,7 +9,9 @@ whose ``render()`` matches the paper's rows/series.  The CLI
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from repro.baselines.ntb import NTBPair
 from repro.errors import ConfigError
@@ -108,10 +110,10 @@ def fig9(counts: Sequence[int] = FIG9_COUNTS,
 
 # -- E7: §IV-A2 limits ------------------------------------------------------------------
 
-def limits() -> Dict[str, float]:
+def limits(size: int = 4 * KiB, count: int = PAPER_BURST) -> Dict[str, float]:
     """GPU-read ceiling and QPI-crossing degradation."""
     rig = SingleNodeRig(node_params=NodeParams(num_gpus=4))
-    _, gpu_read = rig.measure("read", "gpu", 4 * KiB, PAPER_BURST)
+    _, gpu_read = rig.measure("read", "gpu", size, count)
 
     # DMA write to a GPU on the other socket: P2P over QPI.
     rig2 = SingleNodeRig(node_params=NodeParams(num_gpus=4))
@@ -120,11 +122,11 @@ def limits() -> Dict[str, float]:
     token = rig2.cuda.cu_pointer_get_attribute(
         "CU_POINTER_ATTRIBUTE_P2P_TOKENS", ptr)
     mapping = rig2.p2p.pin(far_gpu, token, ptr.offset, ptr.nbytes)
-    chain = rig2.write_chain(4 * KiB, PAPER_BURST, mapping.bus_address)
+    chain = rig2.write_chain(size, count, mapping.bus_address)
     _, qpi_write = rig2.measure_chain(chain)
 
     rig3 = SingleNodeRig()
-    _, near_write = rig3.measure("write", "gpu", 4 * KiB, PAPER_BURST)
+    _, near_write = rig3.measure("write", "gpu", size, count)
     return {
         "gpu_read_gbytes": gpu_read,
         "gpu_write_same_socket_gbytes": near_write,
@@ -387,6 +389,107 @@ def contention(ring_sizes: Sequence[int] = (4, 8, 16),
     return table
 
 
+# -- E13: functional routing (§III-E, Figs. 4-5) ------------------------------------------------------------
+
+def routing(ring_sizes: Iterable[int] = (2, 3, 4, 8)) -> Dict[str, object]:
+    """All-pairs PIO delivery on rings: the Fig. 5 comparator tables live.
+
+    The same scenario ``tests/tca/test_routing_e2e.py`` asserts, exposed
+    as a registry experiment so the suite can machine-check E13: every
+    (source, destination) pair stores a unique marker through the TCA
+    window and the destination driver must read it back byte-exact.
+    """
+    from repro.tca.comm import TCAComm
+
+    results: Dict[str, object] = {}
+    all_ok = True
+    for n in ring_sizes:
+        cluster = TCASubCluster(n, node_params=NodeParams(num_gpus=1))
+        comm = TCAComm(cluster)
+        pairs = [(src, dst) for src in range(n) for dst in range(n)
+                 if src != dst]
+        for src, dst in pairs:
+            slot = (src * n + dst) * 8
+            target = comm.host_global(
+                dst, cluster.driver(dst).dma_buffer(slot))
+            cluster.node(src).cpu.store_u32(target,
+                                            0xC0DE0000 + src * 256 + dst)
+        cluster.engine.run()
+        misrouted = 0
+        for src, dst in pairs:
+            slot = (src * n + dst) * 8
+            got = cluster.driver(dst).read_dma_buffer(slot, 4)
+            if int.from_bytes(got.tobytes(), "little") != \
+                    0xC0DE0000 + src * 256 + dst:
+                misrouted += 1
+        results[f"ring{n}_pairs_delivered"] = len(pairs) - misrouted
+        results[f"ring{n}_pairs_misrouted"] = misrouted
+        all_ok = all_ok and misrouted == 0
+    results["all_pairs_ok"] = all_ok
+    return results
+
+
+# -- E15: PEARL ring healing --------------------------------------------------------------------------------
+
+def healing(num_nodes: int = 4) -> Dict[str, object]:
+    """Cut a ring cable, heal, and re-verify delivery plus detour cost.
+
+    The E15 scenario of ``tests/tca/test_healing.py`` as a registry
+    experiment: after ``cut_ring_cable(0)`` and ``heal()``, every pair
+    must communicate again, and the formerly adjacent 0 -> 1 pair must
+    pay the long-way-around latency.
+    """
+    from repro.tca.comm import TCAComm
+
+    def one_way_ns(cluster, comm) -> float:
+        engine = cluster.engine
+        slot = 0x800
+        target = comm.host_global(1, cluster.driver(1).dma_buffer(slot))
+        dram = cluster.node(1).dram
+        addr = cluster.driver(1).dma_buffer(slot)
+        start = engine.now_ps
+        cluster.node(0).cpu.store_u32(target, 0x77)
+
+        def observe():
+            while True:
+                if dram.cpu_read(addr, 1)[0] == 0x77:
+                    return engine.now_ps
+                yield 100
+
+        return (engine.run_process(observe(), name="observe") - start) / 1e3
+
+    healthy = TCASubCluster(num_nodes, node_params=NodeParams(num_gpus=1))
+    before_ns = one_way_ns(healthy, TCAComm(healthy))
+
+    cluster = TCASubCluster(num_nodes, node_params=NodeParams(num_gpus=1))
+    comm = TCAComm(cluster)
+    cluster.cut_ring_cable(0)
+    chain = cluster.heal()
+    after_ns = one_way_ns(cluster, comm)
+
+    pairs = [(src, dst) for src in range(num_nodes)
+             for dst in range(num_nodes) if src != dst]
+    for src, dst in pairs:
+        slot = (src * num_nodes + dst) * 8
+        target = comm.host_global(dst, cluster.driver(dst).dma_buffer(slot))
+        cluster.node(src).cpu.store_u32(target, 0xCE110000 + slot)
+    cluster.engine.run()
+    delivered = 0
+    for src, dst in pairs:
+        slot = (src * num_nodes + dst) * 8
+        got = cluster.driver(dst).read_dma_buffer(slot, 4)
+        if int.from_bytes(got.tobytes(), "little") == 0xCE110000 + slot:
+            delivered += 1
+    return {
+        "healed_chain": list(chain),
+        "pairs_delivered_after_heal": delivered,
+        "all_pairs_ok_after_heal": delivered == len(pairs),
+        "adjacent_one_way_ns": before_ns,
+        "healed_one_way_ns": after_ns,
+        "detour_factor": after_ns / before_ns,
+    }
+
+
 # -- E14: NTB comparison ----------------------------------------------------------------------------------
 
 def ablation_ntb() -> Dict[str, object]:
@@ -406,3 +509,117 @@ def ablation_ntb() -> Dict[str, object]:
         "ntb_hosts_require_reboot_after_unplug": ntb.hosts_require_reboot,
         "peach2_host_link_up_after_ring_cut": host_link_up,
     }
+
+
+# -- the experiment registry (E1-E19) -----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registry entry: an E-number, a CLI name, and how to run it.
+
+    ``params`` are the full-fidelity arguments (EXPERIMENTS.md numbers);
+    ``smoke_params`` shrink the sweep while *keeping every point a paper
+    anchor reads*, so ``tca-bench suite --smoke`` still checks the whole
+    anchor table; ``tiny_params`` shrink further for the determinism
+    tests, where only byte-stability matters.  ``cost_s`` is a rough
+    full-mode wall-clock hint used to balance shards.
+    """
+
+    eid: str
+    name: str
+    fn: Callable[..., object]
+    title: str
+    kind: str                      # "exact" | "anchor" | "shape" | "extension"
+    params: Mapping[str, object] = field(default_factory=dict)
+    smoke_params: Optional[Mapping[str, object]] = None
+    tiny_params: Optional[Mapping[str, object]] = None
+    cost_s: float = 0.1
+
+    def params_for(self, mode: str) -> Dict[str, object]:
+        """The keyword arguments one suite mode runs this entry with."""
+        if mode == "full":
+            return dict(self.params)
+        if mode == "smoke":
+            return dict(self.smoke_params if self.smoke_params is not None
+                        else self.params)
+        if mode == "tiny":
+            if self.tiny_params is not None:
+                return dict(self.tiny_params)
+            return self.params_for("smoke")
+        raise ConfigError(f"unknown suite mode {mode!r}")
+
+    def run(self, mode: str = "full") -> object:
+        """Execute the experiment in one suite mode."""
+        return self.fn(**self.params_for(mode))
+
+
+def _specs() -> List[ExperimentSpec]:
+    S = ExperimentSpec
+    return [
+        S("E1", "table1", table1, "Table I (HA-PACS base cluster)", "exact"),
+        S("E2", "table2", table2, "Table II (testbed)", "exact"),
+        S("E3", "theory", theory, "Eq. (1): theoretical peak", "anchor"),
+        S("E4", "fig7", fig7, "Fig. 7: size vs bandwidth, 255 chained DMAs",
+          "anchor",
+          smoke_params={"sizes": (256, 4 * KiB)},
+          tiny_params={"sizes": (256,), "count": 8}, cost_s=3.5),
+        S("E5", "fig8", fig8, "Fig. 8: single DMA", "shape",
+          smoke_params={"sizes": (4 * KiB, 32 * KiB)},
+          tiny_params={"sizes": (1 * KiB,)}, cost_s=0.2),
+        S("E6", "fig9", fig9, "Fig. 9: request count at 4 KB", "anchor",
+          smoke_params={"counts": (1, 2, 4, 255)},
+          tiny_params={"counts": (1, 2)}, cost_s=2.9),
+        S("E7", "limits", limits, "§IV-A2 limits", "anchor",
+          tiny_params={"count": 8}, cost_s=1.3),
+        S("E8", "latency", latency, "Fig. 10 / §IV-B1: PIO latency",
+          "anchor"),
+        S("E9", "fig12", fig12, "Fig. 12: remote DMA write", "shape",
+          smoke_params={"sizes": (256, 4 * KiB)},
+          tiny_params={"sizes": (512,), "count": 4}, cost_s=2.7),
+        S("E10", "comparison-host", comparison_host,
+          "motivation: host-to-host paths", "shape",
+          smoke_params={"sizes": (8, 1 * MiB)},
+          tiny_params={"sizes": (64,)}, cost_s=3.4),
+        S("E10", "comparison-gpu", comparison_gpu,
+          "motivation: GPU-to-GPU paths", "shape",
+          smoke_params={"sizes": (64, 1 * MiB)},
+          tiny_params={"sizes": (64,)}, cost_s=5.7),
+        S("E11", "ablation-dmac", ablation_dmac,
+          "two-phase vs pipelined DMAC", "prediction",
+          smoke_params={"sizes": (1 * MiB,)},
+          tiny_params={"sizes": (32 * KiB,)}, cost_s=2.5),
+        S("E12", "ablation-ring", ablation_ring,
+          "ring size vs latency", "prediction",
+          tiny_params={"ring_sizes": (2,)}, cost_s=0.2),
+        S("E13", "routing", routing,
+          "functional: address map + routing", "functional",
+          smoke_params={"ring_sizes": (2, 4)},
+          tiny_params={"ring_sizes": (2,)}),
+        S("E14", "ablation-ntb", ablation_ntb, "NTB comparison", "shape"),
+        S("E15", "healing", healing, "PEARL reliability (ring healing)",
+          "extension"),
+        S("E16", "pio-dma-crossover", pio_dma_crossover,
+          "PIO vs DMA crossover", "extension",
+          smoke_params={"sizes": (1 * KiB, 2 * KiB)},
+          tiny_params={"sizes": (64, 8 * KiB)}, cost_s=0.1),
+        S("E17", "hierarchy", hierarchy,
+          "hierarchical network: local vs global put", "extension",
+          tiny_params={"sizes": (64,)}, cost_s=0.5),
+        S("E18", "collectives", collectives,
+          "collectives without an MPI stack", "extension",
+          tiny_params={"block_sizes": (1 * KiB,), "num_nodes": 2},
+          cost_s=1.4),
+        S("E19", "contention", contention,
+          "ring contention: simultaneous k-hop shifts", "extension",
+          smoke_params={"ring_sizes": (4,)},
+          tiny_params={"ring_sizes": (4,), "nbytes": 16 * KiB},
+          cost_s=12.9),
+    ]
+
+
+#: Registry entry name -> spec; covers experiments E1 through E19.
+REGISTRY: Dict[str, ExperimentSpec] = {s.name: s for s in _specs()}
+
+#: The distinct experiment ids the registry covers, in paper order.
+EXPERIMENT_IDS: Tuple[str, ...] = tuple(
+    dict.fromkeys(s.eid for s in REGISTRY.values()))

@@ -1,0 +1,477 @@
+"""Sharded experiment-suite runner with result caching and anchor checks.
+
+``tca-bench suite`` fans the E1-E19 registry
+(:data:`repro.bench.experiments.REGISTRY`) out across worker processes,
+caches every result in a content-addressed store
+(:mod:`repro.bench.cache`), and checks the full anchor table
+(:data:`repro.model.anchors.ANCHORS`) against the live payloads.  It is
+the single source of truth for "does this repo still reproduce the
+paper":
+
+* **Sharding** — entries are partitioned over ``--shards N`` worker
+  processes (longest-processing-time first, by each entry's cost hint),
+  each worker seeding ``random``/``numpy`` deterministically per entry.
+* **Caching** — the cache key covers the entry name, its exact
+  parameters, the calibration fingerprint, the hash of every ``repro``
+  source file, and the suite seed; a warm run returns byte-identical
+  payloads without simulating anything.
+* **Conformance** — the report (schema ``tca-bench-suite/1``) carries
+  per-anchor pass/fail with paper-vs-measured values, per-entry cache
+  hit/miss, and per-shard wall clock; ``--render-md`` regenerates the
+  tables inside EXPERIMENTS.md from the same payloads, so the spec
+  document and the simulator cannot drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.cache import (ResultCache, cache_key, canonical_json,
+                               sources_fingerprint)
+from repro.bench.experiments import EXPERIMENT_IDS, REGISTRY, ExperimentSpec
+from repro.errors import ConfigError
+from repro.model.anchors import ANCHORS, AnchorCheck, calibration_fingerprint
+from repro.units import pretty_size
+
+#: Version tag of the conformance report document.
+SCHEMA = "tca-bench-suite/1"
+
+#: Suite modes: full fidelity, anchor-preserving reduction, determinism-
+#: test reduction.
+MODES = ("full", "smoke", "tiny")
+
+
+def derive_seed(seed: int, entry: str) -> int:
+    """Deterministic per-entry seed: stable across runs and shardings."""
+    digest = hashlib.sha256(f"{seed}:{entry}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def payload_json(result: object) -> str:
+    """Canonical JSON text of one experiment result."""
+    from repro.bench.cli import to_payload
+
+    return canonical_json(to_payload(result))
+
+
+def run_entry(name: str, mode: str, seed: int) -> Tuple[str, float]:
+    """Run one registry entry; returns (canonical payload, wall seconds)."""
+    spec = REGISTRY[name]
+    entry_seed = derive_seed(seed, name)
+    random.seed(entry_seed)
+    np.random.seed(entry_seed & 0xFFFFFFFF)
+    start = time.perf_counter()
+    result = spec.run(mode)
+    return payload_json(result), time.perf_counter() - start
+
+
+def _shard_main(index: int, names: Sequence[str], mode: str, seed: int,
+                queue) -> None:
+    """Worker-process body: run one shard's entries and report back."""
+    start = time.perf_counter()
+    out = []
+    for name in names:
+        try:
+            payload, wall = run_entry(name, mode, seed)
+            out.append((name, payload, wall, None))
+        except Exception as exc:  # surfaced as an entry error in the report
+            out.append((name, None, 0.0, f"{type(exc).__name__}: {exc}"))
+    queue.put((index, out, time.perf_counter() - start))
+
+
+def partition(names: Sequence[str], shards: int) -> List[List[str]]:
+    """Deterministic longest-processing-time-first shard assignment."""
+    shards = max(1, min(shards, len(names)) if names else 1)
+    by_cost = sorted(names, key=lambda n: (-REGISTRY[n].cost_s, n))
+    loads = [0.0] * shards
+    buckets: List[List[str]] = [[] for _ in range(shards)]
+    for name in by_cost:
+        i = min(range(shards), key=lambda s: (loads[s], s))
+        buckets[i].append(name)
+        loads[i] += REGISTRY[name].cost_s
+    return buckets
+
+
+@dataclass
+class EntryResult:
+    """One registry entry's outcome inside a suite run."""
+
+    name: str
+    eid: str
+    mode: str
+    key: str
+    cache: str                   # "hit" | "miss"
+    shard: Optional[int]
+    wall_s: float
+    payload_json: Optional[str]
+    error: Optional[str] = None
+
+    @property
+    def payload(self) -> object:
+        return (json.loads(self.payload_json)
+                if self.payload_json is not None else None)
+
+    def to_dict(self, include_payload: bool = True) -> Dict[str, object]:
+        spec = REGISTRY[self.name]
+        doc: Dict[str, object] = {
+            "name": self.name,
+            "eid": self.eid,
+            "title": spec.title,
+            "kind": spec.kind,
+            "mode": self.mode,
+            "key": self.key,
+            "cache": self.cache,
+            "shard": self.shard,
+            "wall_s": round(self.wall_s, 4),
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        elif include_payload:
+            doc["payload"] = self.payload
+        return doc
+
+
+@dataclass
+class SuiteReport:
+    """Everything one ``tca-bench suite`` run produced."""
+
+    mode: str
+    shards: int
+    seed: int
+    calibration_fp: str
+    sources_fp: str
+    entries: List[EntryResult] = field(default_factory=list)
+    checks: List[AnchorCheck] = field(default_factory=list)
+    shard_walls: List[Dict[str, object]] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def payloads(self) -> Dict[str, object]:
+        """Entry name -> decoded payload (errors omitted)."""
+        return {e.name: e.payload for e in self.entries
+                if e.payload_json is not None}
+
+    @property
+    def ok(self) -> bool:
+        """No anchor failed and no entry errored."""
+        return (all(c.status != "fail" for c in self.checks)
+                and all(e.error is None for e in self.entries))
+
+    def summary(self) -> Dict[str, object]:
+        status = [c.status for c in self.checks]
+        return {
+            "entries": len(self.entries),
+            "experiments": len({e.eid for e in self.entries}),
+            "errors": sum(1 for e in self.entries if e.error),
+            "cache_hits": sum(1 for e in self.entries if e.cache == "hit"),
+            "cache_misses": sum(1 for e in self.entries
+                                if e.cache == "miss"),
+            "anchors_pass": status.count("pass"),
+            "anchors_fail": status.count("fail"),
+            "anchors_skipped": status.count("skipped"),
+            "wall_s": round(self.wall_s, 4),
+            "ok": self.ok,
+        }
+
+    def to_dict(self, include_payloads: bool = True) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "mode": self.mode,
+            "shards": self.shards,
+            "seed": self.seed,
+            "calibration_fingerprint": self.calibration_fp,
+            "sources_fingerprint": self.sources_fp,
+            "entries": [e.to_dict(include_payloads) for e in self.entries],
+            "shard_walls": self.shard_walls,
+            "anchors": [c.to_dict() for c in self.checks],
+            "summary": self.summary(),
+        }
+
+    def payloads_json(self) -> str:
+        """Canonical entry-name -> payload document (byte-stable)."""
+        return canonical_json({e.name: json.loads(e.payload_json)
+                               for e in self.entries
+                               if e.payload_json is not None})
+
+    def render(self) -> str:
+        s = self.summary()
+        lines = [
+            f"tca-bench suite  mode={self.mode} shards={self.shards} "
+            f"seed={self.seed}",
+            f"entries: {s['entries']} covering {s['experiments']} "
+            f"experiments ({EXPERIMENT_IDS[0]}-{EXPERIMENT_IDS[-1]})  "
+            f"cache: {s['cache_hits']} hits / {s['cache_misses']} misses  "
+            f"wall: {s['wall_s']:.2f}s",
+        ]
+        for shard in self.shard_walls:
+            names = ", ".join(shard["entries"])
+            lines.append(f"  shard {shard['shard']}: "
+                         f"{shard['wall_s']:.2f}s  [{names}]")
+        for e in self.entries:
+            if e.error:
+                lines.append(f"  ERROR {e.name}: {e.error}")
+        lines.append("")
+        for check in self.checks:
+            lines.append(str(check))
+        lines.append(
+            f"anchors: {s['anchors_pass']} pass, {s['anchors_fail']} fail, "
+            f"{s['anchors_skipped']} skipped")
+        return "\n".join(lines)
+
+
+def check_anchors(payloads: Dict[str, object]) -> List[AnchorCheck]:
+    """Evaluate every anchor whose experiment payload is present."""
+    return [anchor.check(payloads[anchor.experiment])
+            for anchor in ANCHORS if anchor.experiment in payloads]
+
+
+def run_suite(names: Optional[Sequence[str]] = None, shards: int = 1,
+              mode: str = "full", cache: Optional[ResultCache] = None,
+              force: bool = False, seed: int = 0,
+              log: Optional[Callable[[str], None]] = None) -> SuiteReport:
+    """Run the registry through shards and cache; returns the report.
+
+    ``names`` defaults to every registry entry.  ``cache=None`` disables
+    the store entirely; ``force=True`` keeps the store but ignores hits
+    (results are still written back).
+    """
+    if mode not in MODES:
+        raise ConfigError(f"unknown suite mode {mode!r}")
+    names = list(REGISTRY) if names is None else list(names)
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        raise ConfigError(f"unknown registry entries: {', '.join(unknown)}")
+
+    calib_fp = calibration_fingerprint()
+    sources_fp = sources_fingerprint()
+    report = SuiteReport(mode=mode, shards=max(1, shards), seed=seed,
+                         calibration_fp=calib_fp, sources_fp=sources_fp)
+    start = time.perf_counter()
+
+    keys = {name: cache_key(name, REGISTRY[name].params_for(mode),
+                            calib_fp, sources_fp, seed)
+            for name in names}
+    results: Dict[str, EntryResult] = {}
+    cold: List[str] = []
+    for name in names:
+        hit = None if (cache is None or force) else cache.get(keys[name])
+        if hit is not None:
+            results[name] = EntryResult(
+                name=name, eid=REGISTRY[name].eid, mode=mode,
+                key=keys[name], cache="hit", shard=None, wall_s=0.0,
+                payload_json=hit)
+        else:
+            cold.append(name)
+
+    if log and cold:
+        log(f"running {len(cold)} cold entries over "
+            f"{min(max(1, shards), len(cold))} shard(s); "
+            f"{len(results)} cached")
+
+    if cold:
+        buckets = partition(cold, shards)
+        if len(buckets) == 1:
+            shard_start = time.perf_counter()
+            outcomes = []
+            for name in buckets[0]:
+                try:
+                    payload, wall = run_entry(name, mode, seed)
+                    outcomes.append((name, payload, wall, None))
+                except Exception as exc:
+                    outcomes.append((name, None, 0.0,
+                                     f"{type(exc).__name__}: {exc}"))
+            collected = [(0, outcomes, time.perf_counter() - shard_start)]
+        else:
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn")
+            queue = ctx.SimpleQueue()
+            procs = [ctx.Process(target=_shard_main,
+                                 args=(i, bucket, mode, seed, queue),
+                                 daemon=True)
+                     for i, bucket in enumerate(buckets)]
+            for p in procs:
+                p.start()
+            collected = [queue.get() for _ in procs]
+            for p in procs:
+                p.join()
+
+        for index, outcomes, shard_wall in sorted(collected):
+            report.shard_walls.append({
+                "shard": index,
+                "entries": [name for name, _, _, _ in outcomes],
+                "wall_s": round(shard_wall, 4),
+            })
+            for name, payload, wall, error in outcomes:
+                results[name] = EntryResult(
+                    name=name, eid=REGISTRY[name].eid, mode=mode,
+                    key=keys[name], cache="miss", shard=index, wall_s=wall,
+                    payload_json=payload, error=error)
+                if cache is not None and payload is not None:
+                    cache.put(keys[name], name, payload, meta={
+                        "mode": mode,
+                        "wall_s": round(wall, 4),
+                        "seed": seed,
+                        "calibration": calib_fp,
+                    })
+
+    report.entries = [results[name] for name in names]
+    # Tiny sweeps exist for byte-stability testing only; their reduced
+    # fidelity makes anchor values meaningless, so no anchor is checked.
+    report.checks = check_anchors(report.payloads) if mode != "tiny" else []
+    report.wall_s = time.perf_counter() - start
+    return report
+
+
+# -- EXPERIMENTS.md regeneration -----------------------------------------------------------------
+
+def _md_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---:" for _ in header) + "|"]
+    lines += ["| " + " | ".join(row) + " |" for row in rows]
+    return "\n".join(lines)
+
+
+def _sweep_columns(payload: Dict[str, object],
+                   columns: Sequence[Tuple[str, str]],
+                   x_header: str = "size", x_is_size: bool = True,
+                   fmt: str = "{:.3f}") -> str:
+    series = payload["series"]
+    xs = sorted({x for label, _ in columns if label in series
+                 for x, _ in series[label]})
+    rows = []
+    for x in xs:
+        cell = pretty_size(int(x)) if x_is_size else f"{x:g}"
+        row = [cell]
+        for label, _ in columns:
+            value = next((y for px, y in series.get(label, ())
+                          if px == x), None)
+            row.append(fmt.format(value) if value is not None else "—")
+        rows.append(row)
+    return _md_table([x_header] + [head for _, head in columns], rows)
+
+
+def _md_fig7(p):
+    return _sweep_columns(p, [("CPU (write)", "CPU write"),
+                              ("CPU (read)", "CPU read"),
+                              ("GPU (write)", "GPU write"),
+                              ("GPU (read)", "GPU read")])
+
+
+def _md_fig9(p):
+    points = dict(p["series"]["CPU (write)"])
+    counts = sorted(points)
+    return _md_table(["requests"] + [f"{c:g}" for c in counts],
+                     [["CPU write (GB/s)"]
+                      + [f"{points[c]:.2f}" for c in counts]])
+
+
+def _md_theory(p):
+    return _md_table(
+        ["quantity", "paper", "measured"],
+        [["Gen2 x8 post-encoding rate", "4 Gbytes/s",
+          f"{p['gen2_x8_raw_gbytes']:.3f}"],
+         ["payload ceiling at MPS 256 B", "3.66 Gbytes/s",
+          f"{p['eq1_peak_gbytes']:.3f}"],
+         ["GPU-read latency-bandwidth bound", "(implied by 830 MB/s)",
+          f"{p['gpu_read_bound_gbytes']:.3f}"]])
+
+
+def _md_limits(p):
+    return _md_table(
+        ["quantity", "paper", "measured"],
+        [["GPU DMA-read ceiling", "830 Mbytes/s",
+          f"{p['gpu_read_gbytes']:.3f} GB/s"],
+         ["GPU write, same socket", "≈ CPU write",
+          f"{p['gpu_write_same_socket_gbytes']:.2f} GB/s"],
+         ["GPU write across QPI", "\"several hundred Mbytes/sec\"",
+          f"{p['gpu_write_over_qpi_gbytes']:.2f} GB/s"]])
+
+
+def _md_latency(p):
+    return _md_table(
+        ["quantity", "paper", "measured"],
+        [["one-way store-to-commit, 2 chips + 1 cable",
+          f"**{p['paper_ns']:g} ns**", f"**{p['pio_one_way_ns']:.1f} ns**"],
+         ["observed by the polling driver", "—",
+          f"{p['pio_polled_ns']:g} ns (poll quantization)"],
+         ["vs InfiniBand FDR claim", "< 1 µs",
+          f"{p['pio_one_way_ns']:g} < {p['infiniband_fdr_claim_ns']:g} ✓"]])
+
+
+def _md_fig12(p):
+    return _sweep_columns(p, [("remote CPU", "remote CPU"),
+                              ("local CPU (write)", "local CPU"),
+                              ("remote GPU", "remote GPU"),
+                              ("local GPU (write)", "local GPU")])
+
+
+def _md_crossover(p):
+    return _sweep_columns(p, [("tca-pio", "PIO (µs)"),
+                              ("tca-dma", "DMA (µs)")], fmt="{:.3g}")
+
+
+def _md_hierarchy(p):
+    return _sweep_columns(p, [("local (TCA)", "local put (TCA)"),
+                              ("global (IB)", "global put (IB)")],
+                          fmt="{:.4g} µs")
+
+
+def _md_collectives(p):
+    return _sweep_columns(p, [("tca", "TCA"), ("mpi-ib", "MPI over IB")],
+                          x_header="block", fmt="{:.4g} µs")
+
+
+def _md_contention(p):
+    return _sweep_columns(p, [("4-node ring", "4-node"),
+                              ("8-node ring", "8-node"),
+                              ("16-node ring", "16-node")],
+                          x_header="hop distance", x_is_size=False,
+                          fmt="{:.2f}")
+
+
+#: Registry entry name -> EXPERIMENTS.md table renderer.
+MD_RENDERERS: Dict[str, Callable[[Dict[str, object]], str]] = {
+    "theory": _md_theory,
+    "fig7": _md_fig7,
+    "fig9": _md_fig9,
+    "limits": _md_limits,
+    "latency": _md_latency,
+    "fig12": _md_fig12,
+    "pio-dma-crossover": _md_crossover,
+    "hierarchy": _md_hierarchy,
+    "collectives": _md_collectives,
+    "contention": _md_contention,
+}
+
+
+def render_experiments_md(payloads: Dict[str, object],
+                          text: str) -> Tuple[str, List[str]]:
+    """Replace every ``<!-- suite:NAME -->`` block with a live table.
+
+    Returns (new text, names regenerated).  Raises
+    :class:`~repro.errors.ConfigError` if a payload has a renderer but
+    the document lacks its markers — the document must stay regenerable.
+    """
+    updated = []
+    for name, renderer in MD_RENDERERS.items():
+        if name not in payloads:
+            continue
+        begin, end = f"<!-- suite:{name} -->", f"<!-- /suite:{name} -->"
+        i = text.find(begin)
+        j = text.find(end)
+        if i < 0 or j < 0 or j < i:
+            raise ConfigError(
+                f"EXPERIMENTS.md lacks the {begin} ... {end} markers")
+        table = renderer(payloads[name])
+        text = (text[:i + len(begin)] + "\n" + table + "\n" + text[j:])
+        updated.append(name)
+    return text, updated

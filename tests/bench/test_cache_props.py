@@ -1,0 +1,76 @@
+"""Property tests: nothing that changes a result can reuse a stale cache.
+
+Hypothesis sweeps the perturbation space: any calibration constant, any
+hashed source file's content, any parameter, and the seed must all feed
+the content-addressed cache key — so no model change can silently serve
+yesterday's experiment results.
+"""
+
+import tempfile
+from dataclasses import fields, replace
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.cache import cache_key, canonical_json, hash_files
+from repro.model.anchors import calibration_fingerprint
+from repro.model.calibration import CALIB, Calibration
+
+CALIB_FIELDS = [f.name for f in fields(Calibration)]
+
+
+@given(name=st.sampled_from(CALIB_FIELDS),
+       delta=st.integers(min_value=1, max_value=10 ** 9))
+def test_perturbing_any_calibration_constant_changes_the_key(name, delta):
+    base_fp = calibration_fingerprint(CALIB)
+    perturbed = replace(CALIB, **{name: getattr(CALIB, name) + delta})
+    perturbed_fp = calibration_fingerprint(perturbed)
+    assert perturbed_fp != base_fp
+    assert (cache_key("fig7", {}, base_fp, "src", 0)
+            != cache_key("fig7", {}, perturbed_fp, "src", 0))
+
+
+@given(content=st.binary(min_size=0, max_size=128),
+       extra=st.binary(min_size=1, max_size=64))
+@settings(max_examples=25)
+def test_perturbing_a_hashed_source_file_changes_the_key(content, extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "module.py"
+        path.write_bytes(content)
+        before = hash_files([path])
+        path.write_bytes(content + extra)
+        after = hash_files([path])
+    assert after != before
+    assert (cache_key("fig7", {}, "calib", before, 0)
+            != cache_key("fig7", {}, "calib", after, 0))
+
+
+@given(count_a=st.integers(min_value=1, max_value=255),
+       count_b=st.integers(min_value=1, max_value=255),
+       seed=st.integers(min_value=0, max_value=2 ** 32))
+def test_key_separates_params_and_seed(count_a, count_b, seed):
+    key = cache_key("fig7", {"count": count_a}, "c", "s", 0)
+    assert key == cache_key("fig7", {"count": count_a}, "c", "s", 0)
+    if count_a != count_b:
+        assert key != cache_key("fig7", {"count": count_b}, "c", "s", 0)
+    if seed != 0:
+        assert key != cache_key("fig7", {"count": count_a}, "c", "s", seed)
+    assert key != cache_key("fig9", {"count": count_a}, "c", "s", 0)
+
+
+@given(params=st.dictionaries(
+    st.sampled_from(["sizes", "counts", "ring_sizes"]),
+    st.lists(st.integers(min_value=1, max_value=1 << 20), max_size=4)
+    .map(tuple)))
+def test_tuple_and_list_params_hash_identically(params):
+    # The registry stores tuples; a worker may echo lists after a JSON
+    # round trip.  The key must not depend on that representation.
+    as_lists = {k: list(v) for k, v in params.items()}
+    assert (cache_key("fig7", params, "c", "s", 0)
+            == cache_key("fig7", as_lists, "c", "s", 0))
+
+
+def test_canonical_json_is_order_insensitive():
+    assert (canonical_json({"b": 1, "a": [1, 2]})
+            == canonical_json({"a": (1, 2), "b": 1}))
