@@ -38,12 +38,14 @@ def one_way_ns(cluster, comm, src, dst, value):
     return (engine.run_process(observe()) - start) / 1000.0
 
 
-def main() -> None:
-    cluster = TCASubCluster(6, node_params=NodeParams(num_gpus=1))
+def main(tiny: bool = False) -> None:
+    nodes = 4 if tiny else 6
+    dma_bytes = 1024 if tiny else 8192
+    cluster = TCASubCluster(nodes, node_params=NodeParams(num_gpus=1))
     comm = TCAComm(cluster)
     console = cluster.board(0).chip.console
 
-    print("healthy ring of 6:")
+    print(f"healthy ring of {nodes}:")
     print(f"  node0 -> node1: {one_way_ns(cluster, comm, 0, 1, 0x11):6.0f} ns")
     print(f"  node0 -> node3: {one_way_ns(cluster, comm, 0, 3, 0x12):6.0f} ns")
     print(f"  console> links: {console.execute('links')}\n")
@@ -62,10 +64,13 @@ def main() -> None:
     print("\ntraffic after healing:")
     t_long = one_way_ns(cluster, comm, 0, 1, 0x21)
     t_other = one_way_ns(cluster, comm, 0, 3, 0x22)
-    print(f"  node0 -> node1 (now 5 hops the other way): {t_long:6.0f} ns")
-    print(f"  node0 -> node3 (3 hops westward):          {t_other:6.0f} ns")
+    print(f"  node0 -> node1 (now {nodes - 1} hops the other way): "
+          f"{t_long:6.0f} ns")
+    print(f"  node0 -> node3 ({nodes - 3} hop(s) westward):        "
+          f"{t_other:6.0f} ns")
 
-    data = np.random.default_rng(1).integers(0, 256, 8192, dtype=np.uint8)
+    data = np.random.default_rng(1).integers(0, 256, dma_bytes,
+                                             dtype=np.uint8)
     src_bus = cluster.driver(0).dma_buffer(0)
     cluster.node(0).dram.cpu_write(src_bus, data)
     dst = comm.host_global(1, cluster.driver(1).dma_buffer(0))
@@ -73,10 +78,11 @@ def main() -> None:
     cluster.engine.run()
     ok = np.array_equal(cluster.driver(1).read_dma_buffer(0, len(data)),
                         data)
-    print(f"  8 KiB DMA put across the healed chain: verified={ok}")
+    print(f"  {len(data) // 1024} KiB DMA put across the healed chain: "
+          f"verified={ok}")
 
     print("\nautomatic recovery (NIOS watchdog, no operator):")
-    auto = TCASubCluster(6, node_params=NodeParams(num_gpus=1))
+    auto = TCASubCluster(nodes, node_params=NodeParams(num_gpus=1))
     auto.enable_auto_heal()
     auto.engine.at(1_000_000, lambda: auto.cut_ring_cable(2))
 

@@ -16,24 +16,25 @@ from repro.hw.node import NodeParams
 from repro.tca.subcluster import TCASubCluster
 
 
-def main() -> None:
-    nodes, rows, cols = 4, 64, 128
+def main(tiny: bool = False) -> None:
+    nodes, rows, cols = (2, 16, 32) if tiny else (4, 64, 128)
+    rounds, iterations = (1, 2) if tiny else (3, 8)
     print(f"{nodes} nodes x 1 GPU, {rows}x{cols} strip per GPU "
           f"({nodes * rows}x{cols} global), hot wall at the top\n")
     cluster = TCASubCluster(nodes, node_params=NodeParams(num_gpus=2))
     stencil = GPUStencil(cluster, rows_per_node=rows, cols=cols)
 
-    for round_no in range(3):
-        stats = stencil.run(iterations=8)
+    for round_no in range(rounds):
+        stats = stencil.run(iterations=iterations)
         grid = stencil.global_interior()
         frontier = int(np.argmax((grid > 0.5).sum(axis=1) == 0))
-        print(f"after {8 * (round_no + 1):2d} iterations: "
+        print(f"after {iterations * (round_no + 1):2d} iterations: "
               f"heat={grid.sum():10.1f}  warm frontier at row "
               f"{frontier or nodes * rows}/{nodes * rows}  "
               f"[{stats.kernel_ns / 1e3:6.1f} us kernels, "
               f"{stats.exchange_ns / 1e3:6.1f} us halos]")
 
-    stats = stencil.run(iterations=8)
+    stats = stencil.run(iterations=iterations)
     comm_fraction = stats.exchange_ns / stats.total_ns
     print(f"\ncommunication fraction at this grid size: "
           f"{comm_fraction * 100:.0f}%")

@@ -27,16 +27,17 @@ def render_strip(grid: np.ndarray) -> list:
     return rows
 
 
-def main() -> None:
-    nodes, rows, cols = 4, 64, 16
+def main(tiny: bool = False) -> None:
+    nodes, rows, cols = (2, 16, 8) if tiny else (4, 64, 16)
+    rounds, iterations = (1, 2) if tiny else (4, 8)
     print(f"{nodes}-node ring, {rows}x{cols} strip per node "
           f"({rows}x{nodes * cols} global grid), hot wall at x=0\n")
     cluster = TCASubCluster(nodes, node_params=NodeParams(num_gpus=1))
     halo = HaloExchange2D(cluster, rows=rows, cols_per_node=cols)
 
     total_exchange_ns = 0.0
-    for round_no in range(4):
-        stats = halo.run(iterations=8)
+    for round_no in range(rounds):
+        stats = halo.run(iterations=iterations)
         total_exchange_ns += stats.exchange_ns
         heat = halo.global_heat()
         frontier = max(
@@ -44,7 +45,7 @@ def main() -> None:
                 halo.read_grid(rank)[rows // 2, 1:-1] > 0.5)))
             for rank in range(nodes)
             if (halo.read_grid(rank)[rows // 2, 1:-1] > 0.5).any())
-        print(f"after {8 * (round_no + 1):3d} iterations: "
+        print(f"after {iterations * (round_no + 1):3d} iterations: "
               f"total heat {heat:9.1f}, warm frontier at column "
               f"{frontier}/{nodes * cols}")
 
@@ -54,7 +55,7 @@ def main() -> None:
         print("|".join(line_parts))
 
     print(f"\nhalo-exchange time: {total_exchange_ns / 1000:.1f} us of "
-          f"simulated time over 32 iterations")
+          f"simulated time over {rounds * iterations} iterations")
     print("each exchange = 2 chained block-stride DMAs of "
           f"{rows} x 8-byte blocks (one per ring neighbour)")
 

@@ -17,7 +17,8 @@ from repro.tca.hybrid import HybridCluster, HybridComm
 from repro.units import KiB, pretty_size
 
 
-def main() -> None:
+def main(tiny: bool = False) -> None:
+    sizes = (64, 1 * KiB) if tiny else (64, 1 * KiB, 64 * KiB)
     cluster = HybridCluster(num_subclusters=2, nodes_per_subcluster=4,
                             node_params=NodeParams(num_gpus=2))
     comm = HybridComm(cluster)
@@ -30,7 +31,7 @@ def main() -> None:
              (3, 7, "different sub-clusters")]
 
     print(f"{'pair':>8}  {'size':>6}  {'transport':>9}  {'time':>10}  note")
-    for size in (64, 1 * KiB, 64 * KiB):
+    for size in sizes:
         for src, dst, note in pairs:
             sub, local = cluster.locate(src)
             data = np.random.default_rng(src * 8 + dst).integers(

@@ -36,12 +36,16 @@ def survey(title, paths, sizes):
         print(f"{pretty_size(size):>6} | " + " | ".join(cells))
 
 
-def main() -> None:
-    full = "--full" in sys.argv
-    host_sizes = ([8, 256, 4 * KiB, 64 * KiB, 1 * MiB] if not full else
-                  [8, 64, 512, 4 * KiB, 32 * KiB, 256 * KiB, 1 * MiB,
-                   4 * MiB])
-    gpu_sizes = host_sizes[1:] if not full else host_sizes
+def main(tiny: bool = False) -> None:
+    full = "--full" in sys.argv and not tiny
+    if tiny:
+        host_sizes = [8, 4 * KiB]
+    elif full:
+        host_sizes = [8, 64, 512, 4 * KiB, 32 * KiB, 256 * KiB, 1 * MiB,
+                      4 * MiB]
+    else:
+        host_sizes = [8, 256, 4 * KiB, 64 * KiB, 1 * MiB]
+    gpu_sizes = host_sizes if full or tiny else host_sizes[1:]
 
     survey("host-to-host (one-way, observed at destination)",
            [TCAPIOPath(), TCADMAPath(), TCADMAPath(pipelined=True),

@@ -16,7 +16,10 @@ from repro import TCASubCluster, TCAComm
 from repro.hw.node import NodeParams
 
 
-def main() -> None:
+def main(tiny: bool = False) -> None:
+    """Run all three transports; ``tiny=True`` shrinks the payloads."""
+    dma_bytes = 4 * 1024 if tiny else 64 * 1024
+    gpu_bytes = 2 * 1024 if tiny else 32 * 1024
     print("Building a 4-node TCA sub-cluster (ring of PEACH2 boards)...")
     cluster = TCASubCluster(num_nodes=4, node_params=NodeParams(num_gpus=2))
     comm = TCAComm(cluster)
@@ -39,7 +42,7 @@ def main() -> None:
           "(2 ring hops, no MPI, no host staging)\n")
 
     # ---- 2. chained DMA put: node 1 -> node 3 ----------------------------
-    payload = np.random.default_rng(42).integers(0, 256, 64 * 1024,
+    payload = np.random.default_rng(42).integers(0, 256, dma_bytes,
                                                  dtype=np.uint8)
     src = cluster.driver(1).dma_buffer(0)
     cluster.node(1).dram.cpu_write(src, payload)
@@ -51,27 +54,29 @@ def main() -> None:
     ok = np.array_equal(cluster.driver(3).read_dma_buffer(0, len(payload)),
                         payload)
     gbs = len(payload) / (elapsed_ps / 1e12) / 1e9
-    print(f"DMA put, node1 -> node3 (64 KiB): verified={ok}, "
+    print(f"DMA put, node1 -> node3 ({len(payload) // 1024} KiB): "
+          f"verified={ok}, "
           f"{elapsed_ps / 1e6:.1f} us doorbell-to-interrupt, "
           f"{gbs:.2f} GB/s")
     print("  (two-phase through PEACH2 internal memory — the current "
           "DMAC, §IV-B2)\n")
 
     # ---- 3. GPU-to-GPU across nodes (§III-H) ------------------------------
-    src_ptr = cluster.cuda[0].cu_mem_alloc(0, 32 * 1024)
-    dst_ptr = cluster.cuda[1].cu_mem_alloc(1, 32 * 1024)
-    gpu_data = np.random.default_rng(7).integers(0, 256, 32 * 1024,
+    src_ptr = cluster.cuda[0].cu_mem_alloc(0, gpu_bytes)
+    dst_ptr = cluster.cuda[1].cu_mem_alloc(1, gpu_bytes)
+    gpu_data = np.random.default_rng(7).integers(0, 256, gpu_bytes,
                                                  dtype=np.uint8)
     cluster.cuda[0].upload(src_ptr, gpu_data)
 
     elapsed_ps = engine.run_process(
         comm.tca_memcpy_peer(dst_node=1, dst_ptr=dst_ptr,
-                             src_node=0, src_ptr=src_ptr, nbytes=32 * 1024))
+                             src_node=0, src_ptr=src_ptr, nbytes=gpu_bytes))
     engine.run()
-    ok = np.array_equal(cluster.cuda[1].download(dst_ptr, 32 * 1024),
+    ok = np.array_equal(cluster.cuda[1].download(dst_ptr, gpu_bytes),
                         gpu_data)
-    print(f"tca_memcpy_peer, node0.GPU0 -> node1.GPU1 (32 KiB): "
-          f"verified={ok}, {elapsed_ps / 1e6:.1f} us")
+    print(f"tca_memcpy_peer, node0.GPU0 -> node1.GPU1 "
+          f"({gpu_bytes // 1024} KiB): verified={ok}, "
+          f"{elapsed_ps / 1e6:.1f} us")
     print("  (GPUDirect-pinned BARs on both ends; data never touches "
           "host memory)\n")
 

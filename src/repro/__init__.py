@@ -32,6 +32,7 @@ from repro.tca import (TCAAddressMap, TCAComm, TCASubCluster,
                        HybridCluster, HybridComm,
                        BLOCK_GPU0, BLOCK_GPU1, BLOCK_HOST, BLOCK_INTERNAL)
 from repro.tca.notify import FlagPool
+from repro.collectives import ChannelScheduler, TCACollectives
 
 __version__ = "1.0.0"
 
@@ -55,6 +56,8 @@ __all__ = [
     "HybridCluster",
     "HybridComm",
     "FlagPool",
+    "ChannelScheduler",
+    "TCACollectives",
     "BLOCK_GPU0",
     "BLOCK_GPU1",
     "BLOCK_HOST",

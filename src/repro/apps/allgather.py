@@ -1,9 +1,15 @@
 """Ring allgather over TCA DMA puts.
 
 Every node contributes a block; after N-1 ring steps every node holds all
-blocks.  Each step is a DMA put to the East neighbour followed by a PIO
-flag store; receivers poll the flag — the zero-software-stack
-synchronization style TCA enables (no MPI, §V).
+blocks.  Each step is a put to the East neighbour followed by a PIO flag
+store; receivers poll the flag — the zero-software-stack synchronization
+style TCA enables (no MPI, §V).
+
+This mini-app predates :mod:`repro.collectives` and is now a thin
+wrapper over :meth:`repro.collectives.TCACollectives.allgather`, kept
+for its historical entry point (the E18 experiment and the apps tests
+call it).  The algorithm is unchanged: small blocks ride PIO, bulk rides
+chained DMA, one put in flight per rank.
 """
 
 from __future__ import annotations
@@ -12,77 +18,16 @@ from typing import List
 
 import numpy as np
 
-from repro.errors import ConfigError
-from repro.tca.comm import TCAComm
+from repro.collectives import ring_allgather as _collectives_allgather
 from repro.tca.subcluster import TCASubCluster
+
 
 def ring_allgather(cluster: TCASubCluster, block_bytes: int = 1024,
                    seed: int = 7) -> List[np.ndarray]:
     """Run a ring allgather; returns each node's gathered buffer.
 
-    Raises if the result differs across nodes (self-checking).
-    DMA-buffer layout: N data slots, then one flag word per step.
+    Raises :class:`~repro.errors.ConfigError` if the result differs
+    across nodes (self-checking) or the blocks overflow the DMA buffers.
     """
-    n = cluster.num_nodes
-    # Flags live just past the last block slot, page-aligned.
-    FLAG_AREA = -(-(n * block_bytes) // 4096) * 4096
-    if FLAG_AREA + 4 * n > 12 * 1024 * 1024:
-        raise ConfigError("blocks too large for the DMA buffers")
-    comm = TCAComm(cluster)
-    engine = cluster.engine
-    rng = np.random.default_rng(seed)
-    blocks = [rng.integers(0, 256, block_bytes, dtype=np.uint8)
-              for _ in range(n)]
-
-    # Slot i of every node's DMA buffer will hold node i's block.
-    for rank in range(n):
-        cluster.driver(rank).fill_dma_buffer(rank * block_bytes,
-                                             blocks[rank])
-
-    # Small blocks ride PIO, bulk rides chained DMA (the E16 crossover).
-    pio_threshold = 2048
-
-    def worker(rank: int):
-        driver = cluster.driver(rank)
-        node = cluster.node(rank)
-        right = (rank + 1) % n
-        for step in range(n - 1):
-            # The block this rank forwards this step (received last step,
-            # or its own on the first step).
-            block_id = (rank - step) % n
-            src_local = driver.dma_buffer(block_id * block_bytes)
-            dst_global = comm.host_global(
-                right,
-                cluster.driver(right).dma_buffer(block_id * block_bytes))
-            if block_bytes <= pio_threshold:
-                payload = node.dram.cpu_read(src_local, block_bytes)
-                yield engine.process(
-                    comm.put_pio_timed(rank, dst_global, payload),
-                    name=f"ag{rank}.pio{step}")
-            else:
-                yield engine.process(
-                    comm.put_dma(rank, src_local, dst_global, block_bytes),
-                    name=f"ag{rank}.put{step}")
-            # Flag the neighbour: "step's block has landed".
-            flag_global = comm.host_global(
-                right, cluster.driver(right).dma_buffer(FLAG_AREA + step * 4))
-            cluster.node(rank).cpu.store_u32(flag_global, step + 1)
-            # Wait for our own inbound block of this step.
-            yield engine.process(
-                driver.poll_dma_buffer_u32(FLAG_AREA + step * 4, step + 1),
-                name=f"ag{rank}.wait{step}")
-
-    procs = [engine.process(worker(rank), name=f"allgather{rank}")
-             for rank in range(n)]
-    while not all(p.done for p in procs):
-        if not engine.step():
-            raise ConfigError("allgather deadlocked")
-
-    expect = np.concatenate(blocks)
-    results = []
-    for rank in range(n):
-        got = cluster.driver(rank).read_dma_buffer(0, block_bytes * n)
-        if not np.array_equal(got, expect):
-            raise ConfigError(f"allgather result mismatch on rank {rank}")
-        results.append(got)
-    return results
+    return _collectives_allgather(cluster, block_bytes=block_bytes,
+                                  seed=seed)

@@ -389,6 +389,94 @@ def contention(ring_sizes: Sequence[int] = (4, 8, 16),
     return table
 
 
+# -- E20: allreduce — TCA-native vs MPI over IB ------------------------------------------------------------
+
+def collective_allreduce(sizes: Sequence[int] = (1 * KiB, 4 * KiB,
+                                                 16 * KiB, 64 * KiB,
+                                                 256 * KiB),
+                         num_nodes: int = 4) -> SweepTable:
+    """Ring allreduce on N nodes: TCA puts + flags vs MPI over QDR.
+
+    Extends E18's §V argument from allgather to the reduction collective
+    that dominates real workloads.  The TCA side is
+    :meth:`repro.collectives.TCACollectives.allreduce` (reduce-scatter +
+    allgather as chained-DMA/PIO puts with flag-store completion); the
+    MPI side is the same algorithm over the simulated IB fabric, paying
+    eager/rendezvous protocol and stack costs per step.  Small vectors
+    are latency-bound, where TCA's no-software-stack puts win; large
+    ones are bandwidth-bound, where QDR IB out-muscles the two-phase
+    DMAC — the crossover the anchor table pins.
+    """
+    import numpy as np
+
+    from repro.baselines.collectives import ring_allreduce_mpi, run_all
+    from repro.baselines.fabric import IBGroup
+    from repro.collectives import TCACollectives
+
+    table = SweepTable(
+        f"E20: ring allreduce, {num_nodes} nodes (total time)",
+        x_label="vector size", y_label="microseconds")
+    for nbytes in sizes:
+        rng = np.random.default_rng(nbytes)
+        vectors = [rng.integers(0, 1 << 32, nbytes // 4, dtype=np.uint32)
+                   for _ in range(num_nodes)]
+
+        cluster = TCASubCluster(num_nodes,
+                                node_params=NodeParams(num_gpus=1))
+        start = cluster.engine.now_ps
+        TCACollectives(cluster).allreduce(vectors)
+        table.add("tca", nbytes, (cluster.engine.now_ps - start) / 1e6)
+
+        group = IBGroup(num_nodes, node_params=NodeParams(num_gpus=1))
+        for r in range(num_nodes):
+            group.nodes[r].dram.cpu_write(group.buffers[r],
+                                          vectors[r].view(np.uint8))
+        start = group.engine.now_ps
+        run_all(group.engine,
+                ring_allreduce_mpi(group.world, group.buffers, nbytes))
+        table.add("mpi-ib", nbytes, (group.engine.now_ps - start) / 1e6)
+    return table
+
+
+# -- E21: dual-ring vs single-ring collectives ------------------------------------------------------------
+
+def collective_dual_ring(sizes: Sequence[int] = (1 * KiB, 4 * KiB,
+                                                 16 * KiB, 64 * KiB),
+                         num_nodes: int = 8) -> SweepTable:
+    """Allreduce on one flat ring vs the S-coupled dual ring (§III-D).
+
+    The dual-ring topology exists to keep hop counts down as
+    sub-clusters grow; this experiment shows it pays off for whole
+    collectives, not just point-to-point puts.  The hierarchical
+    schedule (per-ring reduce-scatter, one S-port column exchange,
+    per-ring allgather) serializes N-1 put steps against the flat
+    ring's 2(N-1), so latency-bound sizes approach a 2x speedup at
+    8 nodes while bandwidth-bound sizes converge (both move the same
+    bytes per link).
+    """
+    import numpy as np
+
+    from repro.collectives import TCACollectives
+    from repro.tca.subcluster import DUAL_RING
+
+    table = SweepTable(
+        f"E21: allreduce topology, {num_nodes} nodes (total time)",
+        x_label="vector size", y_label="microseconds")
+    for nbytes in sizes:
+        rng = np.random.default_rng(nbytes)
+        vectors = [rng.integers(0, 1 << 32, nbytes // 4, dtype=np.uint32)
+                   for _ in range(num_nodes)]
+        for label, topology in (("single-ring", "ring"),
+                                ("dual-ring", DUAL_RING)):
+            cluster = TCASubCluster(num_nodes, topology=topology,
+                                    node_params=NodeParams(num_gpus=1))
+            start = cluster.engine.now_ps
+            TCACollectives(cluster).allreduce(vectors)
+            table.add(label, nbytes,
+                      (cluster.engine.now_ps - start) / 1e6)
+    return table
+
+
 # -- E13: functional routing (§III-E, Figs. 4-5) ------------------------------------------------------------
 
 def routing(ring_sizes: Iterable[int] = (2, 3, 4, 8)) -> Dict[str, object]:
@@ -511,7 +599,7 @@ def ablation_ntb() -> Dict[str, object]:
     }
 
 
-# -- the experiment registry (E1-E19) -----------------------------------------------------------------------
+# -- the experiment registry (E1-E21) -----------------------------------------------------------------------
 
 @dataclass(frozen=True)
 class ExperimentSpec:
@@ -614,10 +702,20 @@ def _specs() -> List[ExperimentSpec]:
           smoke_params={"ring_sizes": (4,)},
           tiny_params={"ring_sizes": (4,), "nbytes": 16 * KiB},
           cost_s=12.9),
+        S("E20", "collective-allreduce", collective_allreduce,
+          "allreduce: TCA vs MPI crossover", "extension",
+          smoke_params={"sizes": (1 * KiB, 256 * KiB)},
+          tiny_params={"sizes": (1 * KiB,), "num_nodes": 2},
+          cost_s=2.0),
+        S("E21", "collective-dual-ring", collective_dual_ring,
+          "allreduce: dual-ring vs single-ring", "extension",
+          smoke_params={"sizes": (1 * KiB,)},
+          tiny_params={"sizes": (1 * KiB,), "num_nodes": 4},
+          cost_s=2.0),
     ]
 
 
-#: Registry entry name -> spec; covers experiments E1 through E19.
+#: Registry entry name -> spec; covers experiments E1 through E21.
 REGISTRY: Dict[str, ExperimentSpec] = {s.name: s for s in _specs()}
 
 #: The distinct experiment ids the registry covers, in paper order.

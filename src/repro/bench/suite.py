@@ -438,6 +438,17 @@ def _md_contention(p):
                           fmt="{:.2f}")
 
 
+def _md_collective_allreduce(p):
+    return _sweep_columns(p, [("tca", "TCA"), ("mpi-ib", "MPI over IB")],
+                          x_header="vector", fmt="{:.4g} µs")
+
+
+def _md_collective_dual_ring(p):
+    return _sweep_columns(p, [("single-ring", "single ring"),
+                              ("dual-ring", "dual ring")],
+                          x_header="vector", fmt="{:.4g} µs")
+
+
 #: Registry entry name -> EXPERIMENTS.md table renderer.
 MD_RENDERERS: Dict[str, Callable[[Dict[str, object]], str]] = {
     "theory": _md_theory,
@@ -450,6 +461,8 @@ MD_RENDERERS: Dict[str, Callable[[Dict[str, object]], str]] = {
     "hierarchy": _md_hierarchy,
     "collectives": _md_collectives,
     "contention": _md_contention,
+    "collective-allreduce": _md_collective_allreduce,
+    "collective-dual-ring": _md_collective_dual_ring,
 }
 
 

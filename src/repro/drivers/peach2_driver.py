@@ -187,6 +187,25 @@ class PEACH2Driver:
         end_tsc = yield done
         return end_tsc - start_tsc
 
+    # -- asynchronous submission (the collectives layer) --------------------------
+
+    def channel_pending(self, channel: int) -> bool:
+        """True while a submitted chain has not completed its IRQ yet."""
+        return self._irq_signals.get(channel) is not None
+
+    def submit_chain(self, channel: int,
+                     descriptors: Sequence[DMADescriptor]) -> Signal:
+        """Program + doorbell *without* waiting; returns the IRQ signal.
+
+        The returned signal fires in the interrupt handler with the
+        completion TSC as its value.  This is the submission path the
+        multi-channel collective scheduler
+        (:class:`repro.collectives.ChannelScheduler`) uses to keep
+        several chains in flight on different channels of one chip.
+        """
+        self.write_chain(channel, descriptors)
+        return self.ring_doorbell(channel)
+
     # -- robust submission (timeout + bounded retry) -----------------------------
 
     def read_dma_status(self, channel: int):

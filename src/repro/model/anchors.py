@@ -169,7 +169,7 @@ class AnchorCheck:
         return f"[{mark}] {self.anchor.name}: {value}"
 
 
-#: Every numeric promise of EXPERIMENTS.md, E1 through E19.
+#: Every numeric promise of EXPERIMENTS.md, E1 through E21.
 ANCHORS: List[Anchor] = [
     # E1/E2 — specification tables reproduced verbatim.
     Anchor("table1-total-peak", "table1",
@@ -387,6 +387,23 @@ ANCHORS: List[Anchor] = [
            "per-flow bandwidth falls as ~1/k (2-hop ≈ 57 % of 1-hop)",
            _sweep_ratio("4-node ring", 2, "4-node ring", 1), 0.57, 0.02,
            section="§II-B"),
+
+    # E20 — allreduce crossover (TCA-native vs MPI over IB).
+    Anchor("allreduce-tca-wins-1k", "collective-allreduce",
+           "the MPI-free ring allreduce wins at 1-KiB vectors",
+           _sweep_ratio("tca", KiB, "mpi-ib", KiB), 1.0, 0.0, cmp="le",
+           section="§V"),
+    Anchor("allreduce-mpi-wins-256k", "collective-allreduce",
+           "bulk allreduce belongs on InfiniBand (256-KiB vectors)",
+           _sweep_ratio("mpi-ib", 256 * KiB, "tca", 256 * KiB), 1.0, 0.0,
+           cmp="le", section="§V"),
+
+    # E21 — dual-ring vs single-ring collectives.
+    Anchor("dual-ring-allreduce-speedup", "collective-dual-ring",
+           "the S-coupled dual ring speeds a latency-bound 8-node "
+           "allreduce by >= 1.5x (N-1 vs 2(N-1) put steps)",
+           _sweep_ratio("single-ring", KiB, "dual-ring", KiB), 1.5, 0.0,
+           cmp="ge", section="§III-D"),
 ]
 
 

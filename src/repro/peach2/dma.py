@@ -67,6 +67,10 @@ class DMAController:
             ch: None for ch in range(num_channels)}
         self.chains_completed = 0
         self.bytes_transferred = 0
+        #: Chains started per channel — the arbitration statistic the
+        #: collective scheduler's tests read to prove overlap happened.
+        self.chains_per_channel: Dict[int, int] = {
+            ch: 0 for ch in range(num_channels)}
         for ch in range(num_channels):
             offset = RegisterFile.dma_offset(ch, DMA_REG_DOORBELL)
             chip.regs.write_hooks[offset] = self._make_doorbell(ch)
@@ -89,6 +93,23 @@ class DMAController:
 
         return ring
 
+    # -- channel arbitration hooks (used by repro.collectives) -------------------
+
+    def is_busy(self, channel: int) -> bool:
+        """True while a chain is executing on ``channel``."""
+        return bool(self._running.get(channel))
+
+    def idle_channels(self) -> List[int]:
+        """Channels with no chain executing, lowest first.
+
+        Note that a channel whose chain finished but whose completion IRQ
+        the driver has not consumed yet reads *idle* here; arbitration
+        layers that reuse channels must also check
+        :meth:`~repro.drivers.peach2_driver.PEACH2Driver.channel_pending`.
+        """
+        return [ch for ch in range(self.num_channels)
+                if not self._running.get(ch)]
+
     def start(self, channel: int) -> Signal:
         """Kick a channel (as the doorbell register write does).
 
@@ -101,6 +122,7 @@ class DMAController:
             raise DMAError(f"{self.chip.name}: channel {channel} has no "
                            "descriptors programmed")
         self._running[channel] = True
+        self.chains_per_channel[channel] += 1
         self.engine.trace(self.chip.name, "dma-start", channel=channel,
                           descriptors=count)
         done = self.engine.signal(f"{self.chip.name}.dma{channel}.done")

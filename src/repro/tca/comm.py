@@ -14,6 +14,12 @@ address domain.  Three transports are provided:
   simultaneously (the paper's announced follow-up work).
 
 Block-stride transfers (§III-H) map naturally onto chained descriptors.
+
+These are the point-to-point primitives.  Collective operations built on
+top of them — allgather, reduce-scatter, allreduce, broadcast, barrier,
+with multi-channel DMA overlap — live in :mod:`repro.collectives`
+(entry points ``TCACollectives`` and the ``ring_*`` one-shot helpers);
+see ``docs/collectives.md``.
 """
 
 from __future__ import annotations

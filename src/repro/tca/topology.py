@@ -22,10 +22,39 @@ def ring_hop_count(num_nodes: int, src_pos: int, dst_pos: int) -> int:
     return min(east, west)
 
 
-def _direction(num_nodes: int, src_pos: int, dst_pos: int) -> PortCode:
+def ring_direction(num_nodes: int, src_pos: int, dst_pos: int) -> PortCode:
+    """Shortest ring direction from one position to another.
+
+    Ties (the antipodal node of an even ring) break toward E, matching
+    the comparator tables :func:`ring_route_entries` programs — so a put
+    and its trailing flag store always take the same cables, which is
+    what makes flag-store completion sound (§III-H posted-write
+    ordering holds per path, not globally).
+    """
     east = (dst_pos - src_pos) % num_nodes
     west = (src_pos - dst_pos) % num_nodes
     return PortCode.E if east <= west else PortCode.W
+
+
+def ring_neighbor(ring_ids: Sequence[int], node_id: int,
+                  direction: PortCode) -> int:
+    """The node one cable away in ``direction`` on a ring.
+
+    ``ring_ids`` lists node ids in cable order (position p's East cable
+    reaches position p+1), exactly as :meth:`TCASubCluster.rings`
+    returns them.
+    """
+    if node_id not in ring_ids:
+        raise ConfigError(f"node {node_id} is not on this ring")
+    if direction not in (PortCode.E, PortCode.W):
+        raise ConfigError("ring neighbours exist only toward E or W")
+    position = list(ring_ids).index(node_id)
+    step = 1 if direction == PortCode.E else -1
+    return ring_ids[(position + step) % len(ring_ids)]
+
+
+#: Backwards-compatible private alias (pre-collectives callers).
+_direction = ring_direction
 
 
 def _runs(sorted_ids: Sequence[int]) -> List[Tuple[int, int]]:

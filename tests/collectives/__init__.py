@@ -1,0 +1,1 @@
+"""Tests for the TCA-native collective subsystem."""

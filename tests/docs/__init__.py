@@ -1,0 +1,1 @@
+"""Documentation conformance tests: links, paper map, TOC coverage."""

@@ -1,0 +1,72 @@
+"""The markdown link checker passes on the repo and catches breakage."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_md_links", REPO_ROOT / "tools" / "check_md_links.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repo_markdown_has_no_broken_links():
+    checker = load_checker()
+    problems = []
+    for path in checker.default_files():
+        problems.extend(checker.check_file(path))
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_scans_readme_and_all_docs():
+    checker = load_checker()
+    scanned = {p.name for p in checker.default_files()}
+    assert "README.md" in scanned
+    on_disk = {p.name for p in (REPO_ROOT / "docs").glob("*.md")}
+    assert on_disk <= scanned
+
+
+def test_checker_flags_missing_file_and_anchor(tmp_path, monkeypatch):
+    checker = load_checker()
+    monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+    doc = tmp_path / "doc.md"
+    doc.write_text("# Title\n"
+                   "[ok](doc.md) [ok2](#title)\n"
+                   "[gone](nope.md) [frag](doc.md#nope)\n"
+                   "[ext](https://example.com/nope)\n",
+                   encoding="utf-8")
+    problems = checker.check_file(doc)
+    assert len(problems) == 2, problems
+    assert any("missing file: nope.md" in p for p in problems)
+    assert any("missing anchor: doc.md#nope" in p for p in problems)
+
+
+def test_checker_flags_links_escaping_the_repo(tmp_path, monkeypatch):
+    checker = load_checker()
+    monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+    doc = tmp_path / "doc.md"
+    doc.write_text("[out](../secret.md)\n", encoding="utf-8")
+    problems = checker.check_file(doc)
+    assert len(problems) == 1 and "escapes" in problems[0], problems
+
+
+def test_checker_ignores_links_inside_code_fences(tmp_path, monkeypatch):
+    checker = load_checker()
+    monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+    doc = tmp_path / "doc.md"
+    doc.write_text("```\n[gone](nope.md)\n```\n", encoding="utf-8")
+    assert checker.check_file(doc) == []
+
+
+def test_github_slugification():
+    checker = load_checker()
+    assert checker.github_slug("Install") == "install"
+    assert checker.github_slug("What \"simulated\" means here") == \
+        "what-simulated-means-here"
+    assert checker.github_slug("The `channel` scheduler") == \
+        "the-channel-scheduler"

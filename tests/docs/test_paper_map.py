@@ -1,0 +1,81 @@
+"""docs/paper-map.md stays in lock-step with the anchor table.
+
+The paper map promises one row (or bullet) per paper artifact the repo
+measures.  These tests make that promise mechanical: every section id an
+anchor cites must appear in the map, every experiment id must be
+mentioned, and the README must actually link to the map so it is
+discoverable.
+"""
+
+import re
+from pathlib import Path
+
+from repro.bench.experiments import REGISTRY
+from repro.model.anchors import ANCHORS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PAPER_MAP = REPO_ROOT / "docs" / "paper-map.md"
+
+
+def map_text():
+    return PAPER_MAP.read_text(encoding="utf-8")
+
+
+def test_every_anchor_section_id_is_mapped():
+    text = map_text()
+    missing = sorted(s for s in {a.section for a in ANCHORS}
+                     if s not in text)
+    assert not missing, f"paper-map.md misses anchor sections: {missing}"
+
+
+def test_every_anchor_name_is_mapped():
+    text = map_text()
+    missing = sorted(a.name for a in ANCHORS if a.name not in text)
+    assert not missing, f"paper-map.md misses anchors: {missing}"
+
+
+def test_every_experiment_is_mapped():
+    text = map_text()
+    missing = sorted(
+        f"{spec.eid} {name}" for name, spec in REGISTRY.items()
+        if f"`{name}`" not in text)
+    assert not missing, f"paper-map.md misses experiments: {missing}"
+
+
+def test_core_paper_artifacts_are_mapped():
+    text = map_text()
+    wanted = (["§I", "§II", "§III", "§IV", "§V", "Table I", "Table II",
+               "Eq. (1)"] +
+              [f"Fig. {n}" for n in range(7, 13)])
+    missing = [w for w in wanted if w not in text]
+    assert not missing, f"paper-map.md misses paper artifacts: {missing}"
+
+
+def test_cited_modules_exist():
+    text = map_text()
+    for dotted in sorted(set(re.findall(r"`(repro(?:\.\w+)+)`", text))):
+        parts = dotted.split(".")
+        # Accept module paths and module.Attribute references.
+        for depth in (len(parts), len(parts) - 1):
+            candidate = REPO_ROOT / "src" / Path(*parts[:depth])
+            if (candidate.with_suffix(".py").exists() or
+                    (candidate / "__init__.py").exists()):
+                break
+        else:
+            raise AssertionError(f"paper-map.md cites missing module "
+                                 f"{dotted}")
+
+
+def test_readme_and_architecture_link_the_map():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    arch = (REPO_ROOT / "docs" / "architecture.md").read_text(
+        encoding="utf-8")
+    assert "docs/paper-map.md" in readme
+    assert "paper-map.md" in arch
+
+
+def test_readme_toc_lists_every_docs_file():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    missing = [p.name for p in (REPO_ROOT / "docs").glob("*.md")
+               if f"docs/{p.name}" not in readme]
+    assert not missing, f"README docs TOC misses: {missing}"

@@ -1,0 +1,1 @@
+"""Smoke tests that import and run every script in examples/."""

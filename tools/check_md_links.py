@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/.
+
+Validates every inline link in the scanned files:
+
+* relative paths must exist on disk (anchored at the linking file's
+  directory, or at the repo root for absolute-style ``/path`` links);
+* ``#fragment`` parts — same-file or cross-file — must match a heading
+  in the target markdown file (GitHub slugification);
+* external schemes (http, https, mailto) are ignored: this checker is
+  offline and cares about repo-internal rot only.
+
+Run:  python tools/check_md_links.py          (from the repo root)
+Exits non-zero and lists every broken link.  CI runs this plus the
+mirror test in tests/docs/test_md_links.py.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` — ignores images' leading ``!`` by matching it away.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:", re.IGNORECASE)
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def default_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, strip punctuation, dashes."""
+    text = heading.strip().lower()
+    # Drop inline-code backticks and link syntax, keep the text.
+    text = text.replace("`", "")
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    slugs, counts = set(), {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: Path) -> Iterable[Tuple[int, str]]:
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> List[str]:
+    problems = []
+    for lineno, target in iter_links(path):
+        if EXTERNAL.match(target):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (REPO_ROOT / base.lstrip("/") if base.startswith("/")
+                        else path.parent / base)
+            try:
+                resolved = resolved.resolve()
+                resolved.relative_to(REPO_ROOT)
+            except ValueError:
+                problems.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                                f"link escapes the repo: {target}")
+                continue
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                                f"missing file: {target}")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.suffix.lower() not in (".md", ".markdown"):
+                continue  # fragment into non-markdown: not checkable
+            if fragment.lower() not in heading_slugs(resolved):
+                problems.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                                f"missing anchor: {target}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    files = ([Path(a).resolve() for a in argv] if argv else default_files())
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = ", ".join(str(f.relative_to(REPO_ROOT)) for f in files)
+    if problems:
+        print(f"{len(problems)} broken link(s) in: {checked}",
+              file=sys.stderr)
+        return 1
+    print(f"all links OK in: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
