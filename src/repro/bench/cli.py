@@ -70,13 +70,28 @@ def _suite_main(args) -> int:
         return 2
     mode = "smoke" if args.smoke else "tiny" if args.tiny else "full"
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runlog = None
+    if args.trace_out:
+        from repro.obs.runlog import RunLog
+
+        runlog = RunLog(label="suite")
     try:
         report = run_suite(shards=args.shards, mode=mode, cache=cache,
                            force=args.force, seed=args.seed,
-                           log=lambda msg: print(msg, file=sys.stderr))
+                           log=lambda msg: print(msg, file=sys.stderr),
+                           runlog=runlog)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if runlog is not None:
+        try:
+            runlog.write_trace(args.trace_out)
+        except OSError as exc:
+            print(f"error: cannot write trace: {exc}", file=sys.stderr)
+            return 1
+        print(f"run trace -> {args.trace_out} "
+              "(Perfetto; 1 wall ns = 1000 trace ps)", file=sys.stderr)
 
     if args.report:
         try:
@@ -110,6 +125,162 @@ def _suite_main(args) -> int:
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _load_json(path: str, what: str):
+    """Load one JSON document or print a CLI error; returns None on it."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {what} {path!r}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def _perf_main(args) -> int:
+    """``tca-bench perf`` with profiler/gate/history flags."""
+    import os
+
+    from repro.bench import history as hist
+    from repro.bench.perf import PERF_EXPERIMENTS, run_perf, run_profile
+
+    names = None
+    if args.perf_experiments:
+        names = [n.strip() for n in args.perf_experiments.split(",")
+                 if n.strip()]
+        unknown = [n for n in names if n not in PERF_EXPERIMENTS]
+        if unknown:
+            print(f"error: unknown perf experiments: "
+                  f"{', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    threshold = (hist.DEFAULT_THRESHOLD if args.threshold is None
+                 else args.threshold)
+    budget = (hist.DEFAULT_OVERHEAD_BUDGET
+              if args.overhead_budget is None else args.overhead_budget)
+
+    baseline = None
+    if args.check:
+        baseline = _load_json(args.baseline, "baseline")
+        if baseline is None:
+            return 2
+
+    payload: Dict[str, object] = {}
+    rc = 0
+    report = None
+    # --profile alone skips the bare/instrumented timing pass; any
+    # gate/history/baseline work needs the timed report.
+    if args.check or args.history or args.bench_json or not args.profile:
+        report = run_perf(names)
+        payload["perf"] = report.to_dict()
+        if not args.json:
+            print(report)
+
+    if args.profile:
+        profiles = run_profile(names)
+        payload["profile"] = {name: rep.to_dict()
+                              for name, rep in profiles.items()}
+        if not args.json:
+            for name, rep in profiles.items():
+                print(f"==== profile: {name} ====")
+                print(rep.render())
+                print()
+
+    if report is not None and args.bench_json:
+        try:
+            with open(args.bench_json, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write benchmark output: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"benchmark -> {args.bench_json}", file=sys.stderr)
+
+    if report is not None and args.history:
+        try:
+            hist.append_run(args.history, report.to_dict())
+        except OSError as exc:
+            print(f"error: cannot append history: {exc}", file=sys.stderr)
+            return 1
+        print(f"history -> {args.history}", file=sys.stderr)
+
+    if report is not None and baseline is not None:
+        gate = hist.check_against_baseline(
+            report.to_dict(), baseline,
+            baseline_name=os.path.basename(args.baseline),
+            threshold=threshold, overhead_budget=budget)
+        payload["gate"] = gate.to_dict()
+        if not args.json:
+            print(gate.render())
+        if not gate.ok:
+            rc = 1
+
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, default=str)
+        print()
+    return rc
+
+
+def _report_main(args) -> int:
+    """``tca-bench report --html``: render the perf dashboard."""
+    import os
+
+    from repro.bench import history as hist
+
+    if not args.html:
+        print("error: report requires --html PATH", file=sys.stderr)
+        return 2
+
+    history = hist.load_history(args.history) if args.history else []
+
+    perf_doc = gate = None
+    if args.perf_json:
+        perf_doc = _load_json(args.perf_json, "perf document")
+        if perf_doc is None:
+            return 2
+    if perf_doc is not None and os.path.exists(args.baseline):
+        baseline = _load_json(args.baseline, "baseline")
+        if baseline is None:
+            return 2
+        threshold = (hist.DEFAULT_THRESHOLD if args.threshold is None
+                     else args.threshold)
+        budget = (hist.DEFAULT_OVERHEAD_BUDGET
+                  if args.overhead_budget is None
+                  else args.overhead_budget)
+        gate = hist.check_against_baseline(
+            perf_doc, baseline,
+            baseline_name=os.path.basename(args.baseline),
+            threshold=threshold, overhead_budget=budget)
+
+    suite_doc = None
+    if args.suite_report:
+        suite_doc = _load_json(args.suite_report, "suite report")
+        if suite_doc is None:
+            return 2
+
+    profiles = None
+    if args.profile_json:
+        doc = _load_json(args.profile_json, "profile document")
+        if doc is None:
+            return 2
+        # Accept both the bare {name: profile} map and the full
+        # 'perf --profile --json' stdout document wrapping it.
+        profiles = doc.get("profile", doc) if isinstance(doc, dict) \
+            else None
+
+    page = hist.render_dashboard(history=history, perf_doc=perf_doc,
+                                 gate=gate, suite_doc=suite_doc,
+                                 profiles=profiles)
+    try:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(page)
+    except OSError as exc:
+        print(f"error: cannot write dashboard: {exc}", file=sys.stderr)
+        return 1
+    print(f"dashboard -> {args.html}", file=sys.stderr)
+    return 0
 
 
 def render(result: object, chart: bool = False) -> str:
@@ -194,6 +365,55 @@ def main(argv=None) -> int:
                        const="EXPERIMENTS.md", default=None,
                        help="regenerate the marked tables of EXPERIMENTS.md"
                             " (or PATH) from the live results")
+    group.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write a wall-clock Perfetto trace of the "
+                            "suite run itself (worker timelines, cache "
+                            "latencies)")
+    perf_group = parser.add_argument_group(
+        "perf options", "only meaningful with the 'perf' experiment or "
+        "the 'report' subcommand (see docs/performance.md)")
+    perf_group.add_argument("--profile", action="store_true",
+                            help="profile engine dispatch per experiment "
+                                 "and print the top hotspots")
+    perf_group.add_argument("--check", action="store_true",
+                            help="gate this run against --baseline; "
+                                 "exit nonzero on regression")
+    perf_group.add_argument("--baseline", metavar="PATH",
+                            default="BENCH_PR6.json",
+                            help="committed tca-bench-perf/1 baseline "
+                                 "for --check (default BENCH_PR6.json)")
+    perf_group.add_argument("--threshold", type=float, default=None,
+                            metavar="FRAC",
+                            help="allowed bare events/s regression "
+                                 "(default 0.15)")
+    perf_group.add_argument("--overhead-budget", type=float, default=None,
+                            metavar="RATIO",
+                            help="maximum instrumented/bare overhead "
+                                 "ratio (default 3.0)")
+    perf_group.add_argument("--history", metavar="PATH", default=None,
+                            help="perf-history JSONL: 'perf' appends "
+                                 "this run; 'report' plots the trend")
+    perf_group.add_argument("--perf-experiments", metavar="NAMES",
+                            default=None,
+                            help="comma-separated subset of the perf "
+                                 "experiments (tiny CI budgets)")
+    report_group = parser.add_argument_group(
+        "report options", "only meaningful with the 'report' subcommand")
+    report_group.add_argument("--html", metavar="PATH", default=None,
+                              help="write the self-contained dashboard "
+                                   "HTML to PATH")
+    report_group.add_argument("--perf-json", metavar="PATH", default=None,
+                              help="latest tca-bench-perf/1 document "
+                                   "(overhead ratios; gated against "
+                                   "--baseline when that file exists)")
+    report_group.add_argument("--suite-report", metavar="PATH",
+                              default=None,
+                              help="tca-bench-suite/1 report JSON "
+                                   "(anchor pass/fail)")
+    report_group.add_argument("--profile-json", metavar="PATH",
+                              default=None,
+                              help="profile document from "
+                                   "'perf --profile --json' (hotspots)")
     args = parser.parse_args(argv)
 
     if args.list or args.experiment is None:
@@ -201,10 +421,19 @@ def main(argv=None) -> int:
         for name in EXPERIMENTS:
             print(f"  {name}")
         print("  suite")
+        print("  report")
         return 0
 
     if args.experiment == "suite":
         return _suite_main(args)
+
+    if args.experiment == "report":
+        return _report_main(args)
+
+    if args.experiment == "perf" and (args.profile or args.check
+                                      or args.history
+                                      or args.perf_experiments):
+        return _perf_main(args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

@@ -453,10 +453,16 @@ def collective_dual_ring(sizes: Sequence[int] = (1 * KiB, 4 * KiB,
     ring's 2(N-1), so latency-bound sizes approach a 2x speedup at
     8 nodes while bandwidth-bound sizes converge (both move the same
     bytes per link).
+
+    Each run also goes through the critical-path analyzer
+    (:mod:`repro.obs.critpath`), and the measured serialized step count
+    lands in the ``* steps`` series — the §III-D schedule-length claim
+    as data the anchor table can pin.
     """
     import numpy as np
 
     from repro.collectives import TCACollectives
+    from repro.obs.critpath import trace_collective
     from repro.tca.subcluster import DUAL_RING
 
     table = SweepTable(
@@ -470,10 +476,13 @@ def collective_dual_ring(sizes: Sequence[int] = (1 * KiB, 4 * KiB,
                                 ("dual-ring", DUAL_RING)):
             cluster = TCASubCluster(num_nodes, topology=topology,
                                     node_params=NodeParams(num_gpus=1))
+            coll = TCACollectives(cluster)
             start = cluster.engine.now_ps
-            TCACollectives(cluster).allreduce(vectors)
+            _, crit = trace_collective(cluster.engine,
+                                       lambda: coll.allreduce(vectors))
             table.add(label, nbytes,
                       (cluster.engine.now_ps - start) / 1e6)
+            table.add(f"{label} steps", nbytes, float(crit.step_count))
     return table
 
 

@@ -94,6 +94,15 @@ class PerfReport:
             return None
         return inst / bare
 
+    def overall_overhead(self) -> Optional[float]:
+        """Aggregate instrumented/bare wall ratio across all experiments."""
+        bare = sum(s.wall_s for s in self.samples if s.mode == "bare")
+        inst = sum(s.wall_s for s in self.samples
+                   if s.mode == "instrumented")
+        if not bare or not inst:
+            return None
+        return inst / bare
+
     def to_dict(self) -> Dict[str, Any]:
         """The ``--bench-json`` document (see docs/performance.md)."""
         totals = {
@@ -102,6 +111,9 @@ class PerfReport:
         }
         wall = totals["wall_s"]
         totals["events_per_s"] = round(totals["events"] / wall, 1) if wall else 0.0
+        overall = self.overall_overhead()
+        if overall is not None:
+            totals["overhead_ratio"] = round(overall, 3)
         return {
             "schema": SCHEMA,
             "unix_time": round(self.unix_time, 3),
@@ -113,11 +125,15 @@ class PerfReport:
 
     def __str__(self) -> str:
         header = (f"{'experiment':<16} {'mode':<13} {'wall_s':>8} "
-                  f"{'events':>10} {'events/s':>12}")
+                  f"{'events':>10} {'events/s':>12} {'overhead':>9}")
         lines = [header, "-" * len(header)]
         for s in self.samples:
+            ratio = (self.overhead(s.experiment)
+                     if s.mode == "instrumented" else None)
+            overhead = f"x{ratio:.2f}" if ratio is not None else ""
             lines.append(f"{s.experiment:<16} {s.mode:<13} {s.wall_s:>8.2f} "
-                         f"{s.events:>10} {s.events_per_s:>12.0f}")
+                         f"{s.events:>10} {s.events_per_s:>12.0f} "
+                         f"{overhead:>9}")
         ratios = []
         for name in dict.fromkeys(s.experiment for s in self.samples):
             ratio = self.overhead(name)
@@ -171,3 +187,25 @@ def run_perf(names: Optional[Sequence[str]] = None) -> PerfReport:
             sample.experiment = name
             report.samples.append(sample)
     return report
+
+
+def run_profile(names: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+    """Run each experiment once under an :class:`EngineProfiler`.
+
+    Returns ``{experiment: ProfileReport}`` — the ``perf --profile``
+    payload.  Each experiment gets a fresh profiler so its hotspots are
+    not diluted by the others'; the window opens tight around the run,
+    so the attribution covers exactly the experiment's wall time
+    (dispatch + harness gaps).
+    """
+    from repro.obs.profile import EngineProfiler
+
+    names = list(PERF_EXPERIMENTS) if names is None else list(names)
+    reports: Dict[str, Any] = {}
+    for name in names:
+        fn = PERF_EXPERIMENTS[name]
+        profiler = EngineProfiler()
+        with profiler.session():
+            fn()
+        reports[name] = profiler.report(label=name)
+    return reports

@@ -73,18 +73,41 @@ def run_entry(name: str, mode: str, seed: int) -> Tuple[str, float]:
     return payload_json(result), time.perf_counter() - start
 
 
-def _shard_main(index: int, names: Sequence[str], mode: str, seed: int,
-                queue) -> None:
-    """Worker-process body: run one shard's entries and report back."""
+def _run_shard_entries(names: Sequence[str], mode: str, seed: int,
+                       origin_ns: Optional[int] = None):
+    """One shard's entries, with wall-clock offsets when telemetry is on.
+
+    Returns ``(outcomes, shard_wall_s, shard_start_off_ns)`` where each
+    outcome is ``(name, payload, wall_s, error, start_off_ns)``.
+    Offsets are nanoseconds since ``origin_ns`` on the machine-wide
+    monotonic clock (``None`` when telemetry is off), so the parent can
+    place worker spans on its own :class:`~repro.obs.runlog.RunLog`
+    timeline.
+    """
+    def offset() -> Optional[int]:
+        if origin_ns is None:
+            return None
+        return time.perf_counter_ns() - origin_ns
+
     start = time.perf_counter()
+    start_off = offset()
     out = []
     for name in names:
+        entry_off = offset()
         try:
             payload, wall = run_entry(name, mode, seed)
-            out.append((name, payload, wall, None))
+            out.append((name, payload, wall, None, entry_off))
         except Exception as exc:  # surfaced as an entry error in the report
-            out.append((name, None, 0.0, f"{type(exc).__name__}: {exc}"))
-    queue.put((index, out, time.perf_counter() - start))
+            out.append((name, None, 0.0, f"{type(exc).__name__}: {exc}",
+                        entry_off))
+    return out, time.perf_counter() - start, start_off
+
+
+def _shard_main(index: int, names: Sequence[str], mode: str, seed: int,
+                queue, origin_ns: Optional[int] = None) -> None:
+    """Worker-process body: run one shard's entries and report back."""
+    out, wall, start_off = _run_shard_entries(names, mode, seed, origin_ns)
+    queue.put((index, out, wall, start_off))
 
 
 def partition(names: Sequence[str], shards: int) -> List[List[str]]:
@@ -152,6 +175,10 @@ class SuiteReport:
     checks: List[AnchorCheck] = field(default_factory=list)
     shard_walls: List[Dict[str, object]] = field(default_factory=list)
     wall_s: float = 0.0
+    #: Wall-clock run telemetry (RunLog.summary()); only set when the
+    #: suite ran with a runlog attached.  Never part of payloads_json,
+    #: so payload byte-determinism is unaffected.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def payloads(self) -> Dict[str, object]:
@@ -182,7 +209,7 @@ class SuiteReport:
         }
 
     def to_dict(self, include_payloads: bool = True) -> Dict[str, object]:
-        return {
+        doc = {
             "schema": SCHEMA,
             "mode": self.mode,
             "shards": self.shards,
@@ -194,6 +221,9 @@ class SuiteReport:
             "anchors": [c.to_dict() for c in self.checks],
             "summary": self.summary(),
         }
+        if self.telemetry is not None:
+            doc["telemetry"] = self.telemetry
+        return doc
 
     def payloads_json(self) -> str:
         """Canonical entry-name -> payload document (byte-stable)."""
@@ -236,12 +266,19 @@ def check_anchors(payloads: Dict[str, object]) -> List[AnchorCheck]:
 def run_suite(names: Optional[Sequence[str]] = None, shards: int = 1,
               mode: str = "full", cache: Optional[ResultCache] = None,
               force: bool = False, seed: int = 0,
-              log: Optional[Callable[[str], None]] = None) -> SuiteReport:
+              log: Optional[Callable[[str], None]] = None,
+              runlog=None) -> SuiteReport:
     """Run the registry through shards and cache; returns the report.
 
     ``names`` defaults to every registry entry.  ``cache=None`` disables
     the store entirely; ``force=True`` keeps the store but ignores hits
     (results are still written back).
+
+    ``runlog`` (a :class:`repro.obs.runlog.RunLog`) turns on wall-clock
+    run telemetry: per-shard worker timelines and per-entry spans land
+    as trace records, cache hit/miss/store latencies as histograms, and
+    the summary rides the report's ``telemetry`` key.  Payloads are
+    byte-identical with or without it.
     """
     if mode not in MODES:
         raise ConfigError(f"unknown suite mode {mode!r}")
@@ -250,11 +287,35 @@ def run_suite(names: Optional[Sequence[str]] = None, shards: int = 1,
     if unknown:
         raise ConfigError(f"unknown registry entries: {', '.join(unknown)}")
 
+    def cache_get(key: str) -> Optional[str]:
+        if cache is None or force:
+            return None
+        if runlog is None:
+            return cache.get(key)
+        t0 = runlog.now_ps()
+        hit = cache.get(key)
+        bucket = "hit" if hit is not None else "miss"
+        runlog.metrics.histogram(f"suite.cache.{bucket}_us").observe(
+            (runlog.now_ps() - t0) / 1e6)
+        return hit
+
+    def cache_put(key: str, name: str, payload: str, meta) -> None:
+        if runlog is None:
+            cache.put(key, name, payload, meta=meta)
+            return
+        t0 = runlog.now_ps()
+        cache.put(key, name, payload, meta=meta)
+        runlog.metrics.histogram("suite.cache.store_us").observe(
+            (runlog.now_ps() - t0) / 1e6)
+
     calib_fp = calibration_fingerprint()
     sources_fp = sources_fingerprint()
     report = SuiteReport(mode=mode, shards=max(1, shards), seed=seed,
                          calibration_fp=calib_fp, sources_fp=sources_fp)
     start = time.perf_counter()
+    if runlog is not None:
+        runlog.event("suite", "start", mode=mode, entries=len(names),
+                     shards=max(1, shards))
 
     keys = {name: cache_key(name, REGISTRY[name].params_for(mode),
                             calib_fp, sources_fp, seed)
@@ -262,7 +323,7 @@ def run_suite(names: Optional[Sequence[str]] = None, shards: int = 1,
     results: Dict[str, EntryResult] = {}
     cold: List[str] = []
     for name in names:
-        hit = None if (cache is None or force) else cache.get(keys[name])
+        hit = cache_get(keys[name])
         if hit is not None:
             results[name] = EntryResult(
                 name=name, eid=REGISTRY[name].eid, mode=mode,
@@ -277,25 +338,21 @@ def run_suite(names: Optional[Sequence[str]] = None, shards: int = 1,
             f"{len(results)} cached")
 
     if cold:
+        origin_ns = None if runlog is None else runlog.origin_ns
         buckets = partition(cold, shards)
         if len(buckets) == 1:
-            shard_start = time.perf_counter()
-            outcomes = []
-            for name in buckets[0]:
-                try:
-                    payload, wall = run_entry(name, mode, seed)
-                    outcomes.append((name, payload, wall, None))
-                except Exception as exc:
-                    outcomes.append((name, None, 0.0,
-                                     f"{type(exc).__name__}: {exc}"))
-            collected = [(0, outcomes, time.perf_counter() - shard_start)]
+            collected = [(0, *_run_shard_entries(buckets[0], mode, seed,
+                                                 origin_ns))]
         else:
             ctx = multiprocessing.get_context(
                 "fork" if "fork" in multiprocessing.get_all_start_methods()
                 else "spawn")
             queue = ctx.SimpleQueue()
+            if runlog is not None:
+                runlog.event("suite", "fork", shards=len(buckets))
             procs = [ctx.Process(target=_shard_main,
-                                 args=(i, bucket, mode, seed, queue),
+                                 args=(i, bucket, mode, seed, queue,
+                                       origin_ns),
                                  daemon=True)
                      for i, bucket in enumerate(buckets)]
             for p in procs:
@@ -304,19 +361,33 @@ def run_suite(names: Optional[Sequence[str]] = None, shards: int = 1,
             for p in procs:
                 p.join()
 
-        for index, outcomes, shard_wall in sorted(collected):
+        for index, outcomes, shard_wall, shard_off in sorted(collected):
             report.shard_walls.append({
                 "shard": index,
-                "entries": [name for name, _, _, _ in outcomes],
+                "entries": [name for name, _, _, _, _ in outcomes],
                 "wall_s": round(shard_wall, 4),
             })
-            for name, payload, wall, error in outcomes:
+            if runlog is not None and shard_off is not None:
+                # shard_off is the fork-to-first-instruction queue wait.
+                runlog.add_span(f"shard{index}", "shard",
+                                shard_off * 1000,
+                                int(shard_wall * 1e12),
+                                entries=len(outcomes),
+                                queue_wait_us=round(shard_off / 1e3, 1))
+            for name, payload, wall, error, entry_off in outcomes:
                 results[name] = EntryResult(
                     name=name, eid=REGISTRY[name].eid, mode=mode,
                     key=keys[name], cache="miss", shard=index, wall_s=wall,
                     payload_json=payload, error=error)
+                if runlog is not None and entry_off is not None:
+                    detail = {"entry": name}
+                    if error is not None:
+                        detail["error"] = error
+                    runlog.add_span(f"shard{index}", "entry",
+                                    entry_off * 1000, int(wall * 1e12),
+                                    **detail)
                 if cache is not None and payload is not None:
-                    cache.put(keys[name], name, payload, meta={
+                    cache_put(keys[name], name, payload, meta={
                         "mode": mode,
                         "wall_s": round(wall, 4),
                         "seed": seed,
@@ -326,7 +397,14 @@ def run_suite(names: Optional[Sequence[str]] = None, shards: int = 1,
     report.entries = [results[name] for name in names]
     # Tiny sweeps exist for byte-stability testing only; their reduced
     # fidelity makes anchor values meaningless, so no anchor is checked.
-    report.checks = check_anchors(report.payloads) if mode != "tiny" else []
+    if runlog is not None:
+        with runlog.span("suite", "anchors"):
+            report.checks = (check_anchors(report.payloads)
+                             if mode != "tiny" else [])
+        report.telemetry = runlog.summary()
+    else:
+        report.checks = (check_anchors(report.payloads)
+                         if mode != "tiny" else [])
     report.wall_s = time.perf_counter() - start
     return report
 

@@ -91,7 +91,12 @@ class TCACollectives:
         """Process: wait for the next notification on a local flag."""
         key = (node, flag)
         self._expect[key] = self._expect.get(key, 0) + 1
+        start_ps = self.engine.now_ps
         tsc = yield from self.flags.wait(node, flag, self._expect[key])
+        # The flag-wait span is what the critical-path analyzer walks
+        # (repro.obs.critpath); a strict no-op without a tracer.
+        self.engine.trace(f"coll.n{node}", "coll-wait", flag=flag,
+                          dur_ps=self.engine.now_ps - start_ps)
         return tsc
 
     def _put(self, src_node: int, src_offset: int, dst_node: int,
@@ -103,20 +108,29 @@ class TCACollectives:
         channel scheduler, so concurrent puts from one node (e.g. a
         bidirectional broadcast, or a ring put next to an S-port
         exchange) overlap on different DMA channels.
+
+        Returns ``(wire_ps, queue_ps, transport)``: time the payload
+        spent on the wire (doorbell/stream to completion), time the
+        chain waited for a free DMA channel (always 0 for PIO), and
+        which transport carried it.
         """
         driver = self.cluster.driver(src_node)
         dst_global = self.comm.host_global(
             dst_node, self.cluster.driver(dst_node).dma_buffer(dst_offset))
+        start_ps = self.engine.now_ps
         if nbytes <= self.pio_threshold:
             payload = driver.read_dma_buffer(src_offset, nbytes)
             elapsed = yield self.engine.process(
                 self.comm.put_pio_timed(src_node, dst_global, payload),
                 name=f"coll{src_node}.pio")
-        else:
-            chain = self.comm.put_dma_descriptors(
-                src_node, driver.dma_buffer(src_offset), dst_global, nbytes)
-            elapsed = yield self.schedulers[src_node].submit(chain)
-        return elapsed
+            return elapsed, 0, "pio"
+        chain = self.comm.put_dma_descriptors(
+            src_node, driver.dma_buffer(src_offset), dst_global, nbytes)
+        elapsed = yield self.schedulers[src_node].submit(chain)
+        # The scheduler's signal fires with doorbell-to-IRQ time, so
+        # anything beyond that is channel-queue wait.
+        queue_ps = (self.engine.now_ps - start_ps) - elapsed
+        return elapsed, queue_ps, "dma"
 
     def _put_flagged(self, src_node: int, src_offset: int, dst_node: int,
                      dst_offset: int, nbytes: int, flag: int):
@@ -127,9 +141,15 @@ class TCACollectives:
         follows the payload on the same address-routed path, so §III-H
         posted-write ordering guarantees the receiver polls it last.
         """
-        yield from self._put(src_node, src_offset, dst_node, dst_offset,
-                             nbytes)
+        start_ps = self.engine.now_ps
+        wire_ps, queue_ps, transport = yield from self._put(
+            src_node, src_offset, dst_node, dst_offset, nbytes)
         self.flags.signal(src_node, dst_node, flag)
+        # One span per flagged put, decomposed for repro.obs.critpath.
+        self.engine.trace(f"coll.n{src_node}", "coll-put", flag=flag,
+                          dst=dst_node, nbytes=nbytes, transport=transport,
+                          wire_ps=wire_ps, queue_ps=queue_ps,
+                          dur_ps=self.engine.now_ps - start_ps)
 
     def _reduce_into(self, node: int, accum_offset: int,
                      staging_offset: int, nbytes: int) -> None:

@@ -404,6 +404,10 @@ ANCHORS: List[Anchor] = [
            "allreduce by >= 1.5x (N-1 vs 2(N-1) put steps)",
            _sweep_ratio("single-ring", KiB, "dual-ring", KiB), 1.5, 0.0,
            cmp="ge", section="§III-D"),
+    Anchor("dual-ring-critpath-steps", "collective-dual-ring",
+           "the hierarchical 8-node allreduce serializes exactly N-1=7 "
+           "critical-path steps (flat: 2(N-1)=14)",
+           _sweep("dual-ring steps", KiB), 7.0, 0.0, section="§III-D"),
 ]
 
 

@@ -112,12 +112,16 @@ def write_perfetto(path: str, engines: Sequence[tuple]) -> None:
         json.dump(perfetto_trace(engines), fh, indent=1)
 
 
+#: Version tag of the document written by :func:`write_metrics`.
+METRICS_SCHEMA = "tca-bench-metrics/1"
+
+
 def metrics_document(engines: Sequence[tuple]) -> Dict[str, Any]:
-    """Metrics dump: ``{"engines": [{"label", "now_ps", "metrics"}...]}``.
+    """Metrics dump: ``{"schema", "engines": [{"label", ...}...]}``.
 
     ``engines`` is a sequence of ``(label, registry, now_ps)`` triples.
     """
-    return {"engines": [
+    return {"schema": METRICS_SCHEMA, "engines": [
         {"label": label, "now_ps": now_ps,
          "metrics": registry.to_dict(now_ps)}
         for label, registry, now_ps in engines
@@ -125,9 +129,10 @@ def metrics_document(engines: Sequence[tuple]) -> Dict[str, Any]:
 
 
 def write_metrics(path: str, engines: Sequence[tuple]) -> None:
-    """Write the metrics JSON document to ``path``."""
+    """Write the metrics JSON document to ``path`` (keys sorted, so two
+    dumps of the same state diff clean)."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(metrics_document(engines), fh, indent=1)
+        json.dump(metrics_document(engines), fh, indent=1, sort_keys=True)
 
 
 def render_metrics(engines: Sequence[tuple]) -> str:

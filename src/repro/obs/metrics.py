@@ -174,11 +174,20 @@ class Histogram(Metric):
         return self._sum / self._count
 
     def percentile(self, p: float) -> float:
-        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        """Linear-interpolated percentile, ``p`` in [0, 100].
+
+        p=0 and p=100 return the exact observed min/max even when a
+        reservoir is set — the extremes are tracked outside the sample,
+        so they never degrade with sampling.
+        """
         if not self.values:
             raise ValueError(f"histogram {self.name!r} is empty")
         if not 0 <= p <= 100:
             raise ValueError(f"percentile {p} outside [0, 100]")
+        if p == 0:
+            return self._min
+        if p == 100:
+            return self._max
         ordered = sorted(self.values)
         if len(ordered) == 1:
             return ordered[0]

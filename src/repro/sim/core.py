@@ -258,6 +258,12 @@ class Engine:
         #: (the default) every fault path is skipped entirely, so an
         #: un-faulted run is picosecond-identical to an unhooked one.
         self.faults = None
+        #: Optional dispatch profiler (repro.obs.profile.EngineProfiler).
+        #: When set, :meth:`step` routes through the timed dispatch body;
+        #: when ``None`` the whole cost is one attribute check, and the
+        #: event order is identical either way (profiling is wall-clock
+        #: bookkeeping only — it never touches simulated time).
+        self.profiler = None
         for callback in list(_engine_observers):
             callback(self)
 
@@ -346,6 +352,8 @@ class Engine:
         the heap; cancelled entries are discarded without running, without
         advancing the clock and without counting.
         """
+        if self.profiler is not None:
+            return self._step_profiled()
         ready = self._ready
         heap = self._heap
         cancelled = self._cancelled
@@ -364,6 +372,40 @@ class Engine:
             self._now_ps = time_ps
             self.events_processed += 1
             callback(*args)
+            return True
+
+    def _step_profiled(self) -> bool:
+        """The :meth:`step` body with wall-clock dispatch timing.
+
+        A deliberate copy of :meth:`step` (same pop logic, same event
+        order) so the unprofiled hot path pays nothing beyond the single
+        ``profiler is not None`` check.  The whole step — queue pop plus
+        callback — is attributed to the callback, so the only dispatch
+        time a profiled run cannot attribute is the ``run()`` loop frame
+        itself.
+        """
+        profiler = self.profiler
+        clock = profiler.clock
+        ready = self._ready
+        heap = self._heap
+        cancelled = self._cancelled
+        t0 = clock()
+        while True:
+            if ready and (not heap or heap[0][0] > self._now_ps
+                          or heap[0][1] > ready[0][0]):
+                seq, callback, args = ready.popleft()
+                time_ps = self._now_ps
+            elif heap:
+                time_ps, seq, callback, args = heapq.heappop(heap)
+            else:
+                return False
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            self._now_ps = time_ps
+            self.events_processed += 1
+            callback(*args)
+            profiler.record(callback, t0, clock())
             return True
 
     def run(self, until_ps: Optional[int] = None,

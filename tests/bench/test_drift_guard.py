@@ -14,7 +14,7 @@ from repro.bench.suite import MD_RENDERERS
 
 DOC = Path(__file__).resolve().parents[2] / "EXPERIMENTS.md"
 COMMAND = re.compile(r"python -m repro\.bench ([a-z0-9][a-z0-9-]*)")
-UTILITY = {"validate", "perf", "suite", "all"}
+UTILITY = {"validate", "perf", "suite", "report", "all"}
 
 
 def documented_names():

@@ -121,3 +121,38 @@ class TestPerfCLI:
         assert main(["perf", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["perf"]["schema"] == "tca-bench-perf/1"
+
+
+class TestOverheadTotals:
+    def _report(self, experiments=("fig7", "fig9")):
+        samples = []
+        for i, name in enumerate(experiments):
+            samples.append(PerfSample(name, "bare", 1.0 + i, 1_000_000, 4))
+            samples.append(PerfSample(name, "instrumented", 2.0 + 2 * i,
+                                      1_000_000, 4))
+        return PerfReport(samples=samples, unix_time=123.0)
+
+    def test_overall_overhead_is_wall_weighted(self):
+        report = self._report()
+        # (2.0 + 4.0) instrumented over (1.0 + 2.0) bare.
+        assert report.overall_overhead() == pytest.approx(2.0)
+
+    def test_totals_carry_overhead_ratio(self):
+        doc = self._report().to_dict()
+        assert doc["totals"]["overhead_ratio"] == pytest.approx(2.0)
+        # Per-row schema is unchanged: overhead lives only in totals.
+        for row in doc["results"]:
+            assert "overhead_ratio" not in row
+
+    def test_totals_omit_overhead_when_uncomputable(self):
+        report = PerfReport(samples=[
+            PerfSample("fig7", "bare", 2.0, 1_000_000, 4)])
+        assert report.overall_overhead() is None
+        assert "overhead_ratio" not in report.to_dict()["totals"]
+
+    def test_table_has_overhead_column(self):
+        text = str(self._report(experiments=("fig7",)))
+        header, _, bare_row, inst_row = text.splitlines()[:4]
+        assert "overhead" in header
+        assert "x2.00" in inst_row
+        assert "x" not in bare_row  # bare rows leave the column blank

@@ -81,3 +81,80 @@ def test_render_metrics_is_textual():
     obs, _ = _traced_run()
     text = obs.render_metrics()
     assert "[counter]" in text and "[gauge]" in text
+
+
+def test_thread_metadata_follows_first_seen_order():
+    obs, _ = _traced_run()
+    events = obs.perfetto_trace()["traceEvents"]
+    # tids are allocated in first-seen component order, so the metadata
+    # list and the data events must agree on the mapping.
+    meta = {(e["pid"], e["tid"]): e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"}
+    first_seen = {}
+    for e in events:
+        if e["ph"] in ("X", "i") and (e["pid"], e["tid"]) not in first_seen:
+            first_seen[(e["pid"], e["tid"])] = e
+    for key in first_seen:
+        assert key in meta
+    # Per pid, tids count up from 1 in first-seen order (0 is reserved
+    # for the attribution track).
+    for pid in {p for p, _ in meta}:
+        tids = sorted(t for p, t in meta if p == pid and t > 0)
+        assert tids == list(range(1, len(tids) + 1))
+
+
+def test_attribution_track_is_tid_zero():
+    obs, _ = _traced_run()
+    events = obs.perfetto_trace()["traceEvents"]
+    attribution_meta = [e for e in events if e["ph"] == "M"
+                        and e["name"] == "thread_name"
+                        and e["args"]["name"] == ATTRIBUTION_TRACK]
+    assert attribution_meta
+    # Perfetto sorts same-name tracks by tid; tid 0 keeps the latency
+    # budget on top, and every segment event lives on that same track.
+    for meta in attribution_meta:
+        assert meta["tid"] == 0
+    seg_tids = {(e["pid"], e["tid"]) for e in events
+                if e["ph"] == "X" and "dur_ns" in e.get("args", {})}
+    meta_keys = {(e["pid"], e["tid"]) for e in attribution_meta}
+    assert seg_tids <= meta_keys
+
+
+def test_metrics_document_schema_and_sorted_keys(tmp_path):
+    obs, _ = _traced_run()
+    path = tmp_path / "metrics.json"
+    obs.write_metrics(str(path))
+    text = path.read_text()
+    doc = json.loads(text)
+    assert doc["schema"] == "tca-bench-metrics/1"
+    # sort_keys=True: re-dumping sorted must reproduce the file exactly.
+    assert json.dumps(doc, indent=1, sort_keys=True) == text
+
+
+def test_trace_out_round_trips_both_clock_domains(tmp_path):
+    # One file in the simulated-ps domain (engine tracer), one in the
+    # scaled wall-clock domain (RunLog); both must load as valid trace
+    # documents with the same structure.
+    from repro.obs.runlog import PS_PER_WALL_NS, RunLog
+
+    obs, _ = _traced_run()
+    sim_path = tmp_path / "sim-trace.json"
+    obs.write_trace(str(sim_path))
+    sim = json.loads(sim_path.read_text())
+
+    ticks = iter([0, 500, 2500])
+    log = RunLog(label="suite", clock_ns=lambda: next(ticks))
+    with log.span("shard0", "entry", entry="fig7"):
+        pass
+    wall_path = tmp_path / "wall-trace.json"
+    log.write_trace(str(wall_path))
+    wall = json.loads(wall_path.read_text())
+
+    for doc in (sim, wall):
+        assert doc["displayTimeUnit"] == "ns"
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "i", "M"}
+    # The wall-domain span: 2000 ns of wall clock scaled at 1000 ps/ns,
+    # exported in the same microsecond unit as simulated spans.
+    (span,) = [e for e in wall["traceEvents"] if e["ph"] == "X"]
+    assert span["dur"] == 2000 * PS_PER_WALL_NS / 1e6
+    assert span["ts"] == 500 * PS_PER_WALL_NS / 1e6

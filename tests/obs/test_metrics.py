@@ -166,3 +166,18 @@ def test_registry_to_dict_and_text():
     assert doc["h"]["count"] == 1
     text = reg.render_text(now_ps=100)
     assert "n [counter]" in text and "g [gauge]" in text
+
+
+def test_reservoir_percentile_extremes_are_exact():
+    # min/max are tracked outside the sample, so p0/p100 must be exact
+    # even when the reservoir has evicted the extreme observations.
+    h = Histogram("lat", reservoir=8)
+    for v in range(1000):
+        h.observe(float(v))
+    assert h.percentile(0) == 0.0
+    assert h.percentile(100) == 999.0
+    summary = h.summary()
+    assert summary["min"] == 0.0
+    assert summary["max"] == 999.0
+    # Interior percentiles still come from the (sampled) reservoir.
+    assert 0.0 <= h.percentile(50) <= 999.0
