@@ -15,21 +15,31 @@ instantly, while *any* model change — a calibration constant, a line of
 simulator source — misses the cache and re-measures.  The store is a
 plain directory of JSON documents (``<key[:2]>/<key>.json``), safe to
 delete at any time.
+
+The store is hardened against torn and corrupted files: every entry is
+written atomically (tempfile + fsync + rename, via
+:mod:`repro.bench.ioutil`) and carries a SHA-256 checksum of its
+payload text.  A ``get`` that finds an unparseable document, a checksum
+mismatch, or a key mismatch does **not** crash the suite: the damaged
+file is moved into ``<root>/quarantine/`` for post-mortem, the
+``corrupted`` counter ticks, and the lookup reports a miss so the
+entry is transparently re-measured and re-stored.
 """
 
 from __future__ import annotations
 
-import contextlib
 import hashlib
 import importlib
 import json
 import os
-import tempfile
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.ioutil import atomic_write_text, fsync_dir
 
 #: Version tag of the on-disk cache documents; bump to invalidate.
-SCHEMA = "tca-bench-cache/1"
+#: v2 added the payload checksum (corruption detection + quarantine).
+SCHEMA = "tca-bench-cache/2"
 
 #: Environment override for the cache directory.
 ENV_CACHE_DIR = "TCA_BENCH_CACHE_DIR"
@@ -91,36 +101,89 @@ def cache_key(entry: str, params: Dict[str, object], calibration_fp: str,
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def payload_checksum(payload_json: str) -> str:
+    """The checksum stored next to (and verified against) each payload."""
+    return hashlib.sha256(payload_json.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """A directory of cached experiment payloads, addressed by content key.
 
     ``get`` and ``put`` move *canonical payload text* (the exact JSON the
     suite reports), so a cache hit is byte-identical to the cold run that
-    produced it.
+    produced it.  Damaged entries are quarantined, never served and
+    never fatal (see the module docstring).
     """
+
+    #: Subdirectory damaged entries are moved into.
+    QUARANTINE_DIR = "quarantine"
 
     def __init__(self, root: Optional[Path] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.corrupted = 0
+        #: (key, reason) of every entry quarantined by this object.
+        self.quarantined: List[Dict[str, str]] = []
 
     def path_for(self, key: str) -> Path:
         """Where the document for ``key`` lives on disk."""
         return self.root / key[:2] / f"{key}.json"
 
+    def quarantine_path(self, key: str) -> Path:
+        """Where a damaged document for ``key`` is parked."""
+        return self.root / self.QUARANTINE_DIR / f"{key}.json"
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Move a damaged entry out of the lookup path; never raises."""
+        self.corrupted += 1
+        self.quarantined.append({"key": key, "reason": reason})
+        target = self.quarantine_path(key)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # Even an unmovable corrupt file must not fail the lookup;
+            # unlink so the re-run's put can replace it.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
     def get(self, key: str) -> Optional[str]:
-        """The cached canonical payload text, or None on a miss."""
+        """The cached canonical payload text, or None on a miss.
+
+        A *missing* file and a *stale-schema* document are plain misses;
+        an *unreadable, torn, or checksum-failing* document is counted
+        as corruption, quarantined, and then reported as a miss so the
+        caller transparently re-runs the experiment.
+        """
         path = self.path_for(key)
         try:
-            doc = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
             self.misses += 1
             return None
-        if doc.get("schema") != SCHEMA or doc.get("key") != key:
+        except (OSError, UnicodeDecodeError) as exc:
+            self._quarantine(key, path, f"unreadable: {exc}")
             self.misses += 1
+            return None
+        try:
+            doc = json.loads(text)
+        except ValueError as exc:
+            self._quarantine(key, path, f"invalid JSON: {exc}")
+            self.misses += 1
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+            self.misses += 1  # older/foreign schema: stale, not damaged
             return None
         payload = doc.get("payload_json")
-        if not isinstance(payload, str):
+        if doc.get("key") != key or not isinstance(payload, str):
+            self._quarantine(key, path, "key/payload mismatch")
+            self.misses += 1
+            return None
+        if doc.get("sha256") != payload_checksum(payload):
+            self._quarantine(key, path, "checksum mismatch")
             self.misses += 1
             return None
         self.hits += 1
@@ -128,28 +191,21 @@ class ResultCache:
 
     def put(self, key: str, entry: str, payload_json: str,
             meta: Optional[Dict[str, object]] = None) -> Path:
-        """Store one payload; atomic via rename, last writer wins."""
+        """Store one payload; atomic + fsync'd, last writer wins."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         doc = {
             "schema": SCHEMA,
             "key": key,
             "entry": entry,
+            "sha256": payload_checksum(payload_json),
             "payload_json": payload_json,
             "meta": meta or {},
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(doc, fh, indent=1)
-                fh.write("\n")
-            os.replace(tmp, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp)
-            raise
+        atomic_write_text(path, json.dumps(doc, indent=1) + "\n")
+        fsync_dir(path.parent)
         return path
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters for this cache object's lifetime."""
-        return {"hits": self.hits, "misses": self.misses}
+        """Hit/miss/corruption counters for this object's lifetime."""
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupted": self.corrupted}

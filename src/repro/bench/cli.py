@@ -60,29 +60,67 @@ def _validate() -> str:
 
 
 def _suite_main(args) -> int:
-    """The ``tca-bench suite`` subcommand (see docs/experiments.md)."""
+    """The ``tca-bench suite`` subcommand (see docs/experiments.md).
+
+    SIGINT/SIGTERM are handled: workers are terminated, the journal and
+    any requested ``--report`` are flushed with ``interrupted: true``,
+    and the exit code is 128+signum — never a traceback.
+    """
+    import signal
+
     from repro.bench.cache import ResultCache
-    from repro.bench.suite import render_experiments_md, run_suite
+    from repro.bench.ioutil import atomic_write_json, atomic_write_text
+    from repro.bench.suite import (DEFAULT_JOURNAL_DIR,
+                                   render_experiments_md, run_suite)
 
     if args.smoke and args.tiny:
         print("error: --smoke and --tiny are mutually exclusive",
               file=sys.stderr)
         return 2
+    if args.resume and args.no_journal:
+        print("error: --resume needs the journal; drop --no-journal",
+              file=sys.stderr)
+        return 2
     mode = "smoke" if args.smoke else "tiny" if args.tiny else "full"
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    journal_dir = (None if args.no_journal
+                   else args.journal_dir or DEFAULT_JOURNAL_DIR)
     runlog = None
     if args.trace_out:
         from repro.obs.runlog import RunLog
 
         runlog = RunLog(label="suite")
+
+    # A termination signal becomes KeyboardInterrupt, which the job
+    # layer already turns into an orderly partial run.
+    caught: list = []
+
+    def _on_signal(signum, frame):
+        if not caught:
+            caught.append(signum)
+            raise KeyboardInterrupt
+
+    old_int = signal.signal(signal.SIGINT, _on_signal)
+    old_term = signal.signal(signal.SIGTERM, _on_signal)
     try:
         report = run_suite(shards=args.shards, mode=mode, cache=cache,
                            force=args.force, seed=args.seed,
                            log=lambda msg: print(msg, file=sys.stderr),
-                           runlog=runlog)
+                           runlog=runlog,
+                           journal_dir=journal_dir, resume=args.resume)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Interrupted outside the job layer (startup/teardown): there
+        # is no report to flush, but still no traceback.
+        signum = caught[0] if caught else signal.SIGINT
+        print(f"interrupted (signal {signum}) before any result; "
+              "nothing to flush", file=sys.stderr)
+        return 128 + signum
+    finally:
+        signal.signal(signal.SIGINT, old_int)
+        signal.signal(signal.SIGTERM, old_term)
 
     if runlog is not None:
         try:
@@ -95,21 +133,18 @@ def _suite_main(args) -> int:
 
     if args.report:
         try:
-            with open(args.report, "w", encoding="utf-8") as fh:
-                json.dump(report.to_dict(), fh, indent=2)
-                fh.write("\n")
+            atomic_write_json(args.report, report.to_dict())
         except OSError as exc:
             print(f"error: cannot write report: {exc}", file=sys.stderr)
             return 1
         print(f"conformance report -> {args.report}", file=sys.stderr)
 
-    if args.render_md:
+    if args.render_md and not report.interrupted:
         try:
             with open(args.render_md, "r", encoding="utf-8") as fh:
                 text = fh.read()
             text, updated = render_experiments_md(report.payloads, text)
-            with open(args.render_md, "w", encoding="utf-8") as fh:
-                fh.write(text)
+            atomic_write_text(args.render_md, text)
         except OSError as exc:
             print(f"error: cannot render tables: {exc}", file=sys.stderr)
             return 1
@@ -124,6 +159,8 @@ def _suite_main(args) -> int:
         print()
     else:
         print(report.render())
+    if report.interrupted:
+        return 128 + (caught[0] if caught else signal.SIGINT)
     return 0 if report.ok else 1
 
 
@@ -165,6 +202,11 @@ def _perf_main(args) -> int:
         baseline = _load_json(args.baseline, "baseline")
         if baseline is None:
             return 2
+        problem = hist.validate_perf_doc(
+            baseline, f"baseline {args.baseline!r}")
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return 2
 
     payload: Dict[str, object] = {}
     rc = 0
@@ -188,10 +230,10 @@ def _perf_main(args) -> int:
                 print()
 
     if report is not None and args.bench_json:
+        from repro.bench.ioutil import atomic_write_json
+
         try:
-            with open(args.bench_json, "w", encoding="utf-8") as fh:
-                json.dump(report.to_dict(), fh, indent=2)
-                fh.write("\n")
+            atomic_write_json(args.bench_json, report.to_dict())
         except OSError as exc:
             print(f"error: cannot write benchmark output: {exc}",
                   file=sys.stderr)
@@ -240,9 +282,19 @@ def _report_main(args) -> int:
         perf_doc = _load_json(args.perf_json, "perf document")
         if perf_doc is None:
             return 2
+        problem = hist.validate_perf_doc(
+            perf_doc, f"perf document {args.perf_json!r}")
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return 2
     if perf_doc is not None and os.path.exists(args.baseline):
         baseline = _load_json(args.baseline, "baseline")
         if baseline is None:
+            return 2
+        problem = hist.validate_perf_doc(
+            baseline, f"baseline {args.baseline!r}")
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
             return 2
         threshold = (hist.DEFAULT_THRESHOLD if args.threshold is None
                      else args.threshold)
@@ -273,9 +325,10 @@ def _report_main(args) -> int:
     page = hist.render_dashboard(history=history, perf_doc=perf_doc,
                                  gate=gate, suite_doc=suite_doc,
                                  profiles=profiles)
+    from repro.bench.ioutil import atomic_write_text
+
     try:
-        with open(args.html, "w", encoding="utf-8") as fh:
-            fh.write(page)
+        atomic_write_text(args.html, page)
     except OSError as exc:
         print(f"error: cannot write dashboard: {exc}", file=sys.stderr)
         return 1
@@ -369,6 +422,15 @@ def main(argv=None) -> int:
                        help="write a wall-clock Perfetto trace of the "
                             "suite run itself (worker timelines, cache "
                             "latencies)")
+    group.add_argument("--journal-dir", metavar="PATH", default=None,
+                       help="crash-safe run-journal directory (default "
+                            ".tca-bench-journal)")
+    group.add_argument("--no-journal", action="store_true",
+                       help="disable the run journal (and --resume)")
+    group.add_argument("--resume", metavar="RUN_ID", default=None,
+                       help="resume a journalled run: restore its "
+                            "finished payloads and re-execute only the "
+                            "unfinished entries")
     perf_group = parser.add_argument_group(
         "perf options", "only meaningful with the 'perf' experiment or "
         "the 'report' subcommand (see docs/performance.md)")

@@ -32,6 +32,11 @@ from typing import Any, Dict, List, Optional, Sequence
 #: Version tag of each history line.
 HISTORY_SCHEMA = "tca-bench-history/1"
 
+#: The perf-document schema the gate and the dashboard understand.
+#: (Mirrors :data:`repro.bench.perf.SCHEMA`; kept here so document
+#: validation does not import the harness.)
+PERF_SCHEMA = "tca-bench-perf/1"
+
 #: Default gate limits: fail on >15 % bare events/s regression, or an
 #: instrumented/bare overhead ratio above 3.0x (BENCH_PR3 measured
 #: 1.6-2.0x, so 3.0x means "observability cost regressed badly").
@@ -63,6 +68,37 @@ def experiment_stats(doc: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
                 inst["wall_s"] / bare["wall_s"], 3)
         stats[name] = entry
     return stats
+
+
+def validate_perf_doc(doc: Any, what: str = "perf document"
+                      ) -> Optional[str]:
+    """One-line actionable error for a malformed perf document, or None.
+
+    The gate (``tca-bench perf --check``) and the dashboard
+    (``tca-bench report``) run every externally supplied document
+    through this before touching its rows, so a stale, truncated, or
+    foreign-schema baseline produces a clear message instead of a raw
+    ``KeyError`` traceback.
+    """
+    fix = ("regenerate it with 'tca-bench perf --bench-json PATH'")
+    if not isinstance(doc, dict):
+        return f"{what} is not a JSON object; {fix}"
+    schema = doc.get("schema")
+    if schema != PERF_SCHEMA:
+        return (f"{what} has schema {schema!r} but the gate needs "
+                f"{PERF_SCHEMA!r}; {fix}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return f"{what} has no 'results' rows; {fix}"
+    required = ("experiment", "mode", "wall_s", "events_per_s")
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            return f"{what} results[{i}] is not an object; {fix}"
+        missing = [k for k in required if k not in row]
+        if missing:
+            return (f"{what} results[{i}] is missing "
+                    f"{', '.join(missing)}; {fix}")
+    return None
 
 
 # -- history ----------------------------------------------------------------------

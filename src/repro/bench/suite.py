@@ -20,16 +20,24 @@ paper":
   hit/miss, and per-shard wall clock; ``--render-md`` regenerates the
   tables inside EXPERIMENTS.md from the same payloads, so the spec
   document and the simulator cannot drift.
+* **Crash tolerance** — every entry runs as a supervised
+  :class:`~repro.bench.jobs.Job`: per-entry deadlines, seeded retry
+  backoff, dead-worker requeue, and an append-only run journal
+  (``tca-bench-journal/1``) that ``--resume RUN_ID`` replays to
+  re-execute only unfinished entries, byte-identically.  Corrupted
+  cache entries are quarantined and transparently re-run.  The
+  ``robustness`` key of the report counts every such event, so
+  degradation is observable, never silent.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import random
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,12 +45,18 @@ import numpy as np
 from repro.bench.cache import (ResultCache, cache_key, canonical_json,
                                sources_fingerprint)
 from repro.bench.experiments import EXPERIMENT_IDS, REGISTRY, ExperimentSpec
+from repro.bench.jobs import (DEFAULT_MAX_ATTEMPTS, DONE, FAILED, Job,
+                              JobScheduler, Journal, default_deadline_s,
+                              new_run_id, run_job_inline)
 from repro.errors import ConfigError
 from repro.model.anchors import ANCHORS, AnchorCheck, calibration_fingerprint
 from repro.units import pretty_size
 
 #: Version tag of the conformance report document.
 SCHEMA = "tca-bench-suite/1"
+
+#: Where run journals live unless overridden (CLI: ``--journal-dir``).
+DEFAULT_JOURNAL_DIR = ".tca-bench-journal"
 
 #: Suite modes: full fidelity, anchor-preserving reduction, determinism-
 #: test reduction.
@@ -73,43 +87,6 @@ def run_entry(name: str, mode: str, seed: int) -> Tuple[str, float]:
     return payload_json(result), time.perf_counter() - start
 
 
-def _run_shard_entries(names: Sequence[str], mode: str, seed: int,
-                       origin_ns: Optional[int] = None):
-    """One shard's entries, with wall-clock offsets when telemetry is on.
-
-    Returns ``(outcomes, shard_wall_s, shard_start_off_ns)`` where each
-    outcome is ``(name, payload, wall_s, error, start_off_ns)``.
-    Offsets are nanoseconds since ``origin_ns`` on the machine-wide
-    monotonic clock (``None`` when telemetry is off), so the parent can
-    place worker spans on its own :class:`~repro.obs.runlog.RunLog`
-    timeline.
-    """
-    def offset() -> Optional[int]:
-        if origin_ns is None:
-            return None
-        return time.perf_counter_ns() - origin_ns
-
-    start = time.perf_counter()
-    start_off = offset()
-    out = []
-    for name in names:
-        entry_off = offset()
-        try:
-            payload, wall = run_entry(name, mode, seed)
-            out.append((name, payload, wall, None, entry_off))
-        except Exception as exc:  # surfaced as an entry error in the report
-            out.append((name, None, 0.0, f"{type(exc).__name__}: {exc}",
-                        entry_off))
-    return out, time.perf_counter() - start, start_off
-
-
-def _shard_main(index: int, names: Sequence[str], mode: str, seed: int,
-                queue, origin_ns: Optional[int] = None) -> None:
-    """Worker-process body: run one shard's entries and report back."""
-    out, wall, start_off = _run_shard_entries(names, mode, seed, origin_ns)
-    queue.put((index, out, wall, start_off))
-
-
 def partition(names: Sequence[str], shards: int) -> List[List[str]]:
     """Deterministic longest-processing-time-first shard assignment."""
     shards = max(1, min(shards, len(names)) if names else 1)
@@ -131,7 +108,7 @@ class EntryResult:
     eid: str
     mode: str
     key: str
-    cache: str                   # "hit" | "miss"
+    cache: str                   # "hit" | "miss" | "journal"
     shard: Optional[int]
     wall_s: float
     payload_json: Optional[str]
@@ -175,6 +152,16 @@ class SuiteReport:
     checks: List[AnchorCheck] = field(default_factory=list)
     shard_walls: List[Dict[str, object]] = field(default_factory=list)
     wall_s: float = 0.0
+    #: Journal identity of this run (None when journalling is off).
+    run_id: Optional[str] = None
+    journal_path: Optional[str] = None
+    #: True when the run was cut short by SIGINT/SIGTERM; the report
+    #: then covers only the entries that finished.
+    interrupted: bool = False
+    #: Supervision counters (retries, requeues, deadline kills, lost
+    #: workers, quarantined cache entries, resumed entries) — the
+    #: "degradation is observable" contract.
+    robustness: Dict[str, object] = field(default_factory=dict)
     #: Wall-clock run telemetry (RunLog.summary()); only set when the
     #: suite ran with a runlog attached.  Never part of payloads_json,
     #: so payload byte-determinism is unaffected.
@@ -188,8 +175,9 @@ class SuiteReport:
 
     @property
     def ok(self) -> bool:
-        """No anchor failed and no entry errored."""
-        return (all(c.status != "fail" for c in self.checks)
+        """Complete, no anchor failed, and no entry errored."""
+        return (not self.interrupted
+                and all(c.status != "fail" for c in self.checks)
                 and all(e.error is None for e in self.entries))
 
     def summary(self) -> Dict[str, object]:
@@ -201,10 +189,13 @@ class SuiteReport:
             "cache_hits": sum(1 for e in self.entries if e.cache == "hit"),
             "cache_misses": sum(1 for e in self.entries
                                 if e.cache == "miss"),
+            "resumed": sum(1 for e in self.entries
+                           if e.cache == "journal"),
             "anchors_pass": status.count("pass"),
             "anchors_fail": status.count("fail"),
             "anchors_skipped": status.count("skipped"),
             "wall_s": round(self.wall_s, 4),
+            "interrupted": self.interrupted,
             "ok": self.ok,
         }
 
@@ -214,11 +205,14 @@ class SuiteReport:
             "mode": self.mode,
             "shards": self.shards,
             "seed": self.seed,
+            "run_id": self.run_id,
+            "interrupted": self.interrupted,
             "calibration_fingerprint": self.calibration_fp,
             "sources_fingerprint": self.sources_fp,
             "entries": [e.to_dict(include_payloads) for e in self.entries],
             "shard_walls": self.shard_walls,
             "anchors": [c.to_dict() for c in self.checks],
+            "robustness": self.robustness,
             "summary": self.summary(),
         }
         if self.telemetry is not None:
@@ -235,12 +229,16 @@ class SuiteReport:
         s = self.summary()
         lines = [
             f"tca-bench suite  mode={self.mode} shards={self.shards} "
-            f"seed={self.seed}",
+            f"seed={self.seed}"
+            + (f"  run={self.run_id}" if self.run_id else ""),
             f"entries: {s['entries']} covering {s['experiments']} "
             f"experiments ({EXPERIMENT_IDS[0]}-{EXPERIMENT_IDS[-1]})  "
             f"cache: {s['cache_hits']} hits / {s['cache_misses']} misses  "
             f"wall: {s['wall_s']:.2f}s",
         ]
+        if self.interrupted:
+            lines.append("  INTERRUPTED: partial results only; resume "
+                         f"with --resume {self.run_id}")
         for shard in self.shard_walls:
             names = ", ".join(shard["entries"])
             lines.append(f"  shard {shard['shard']}: "
@@ -248,6 +246,12 @@ class SuiteReport:
         for e in self.entries:
             if e.error:
                 lines.append(f"  ERROR {e.name}: {e.error}")
+        degraded = {k: v for k, v in self.robustness.items()
+                    if isinstance(v, int) and v
+                    and k not in ("workers_spawned", "heartbeats")}
+        if degraded:
+            lines.append("  robustness: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(degraded.items())))
         lines.append("")
         for check in self.checks:
             lines.append(str(check))
@@ -263,16 +267,72 @@ def check_anchors(payloads: Dict[str, object]) -> List[AnchorCheck]:
             for anchor in ANCHORS if anchor.experiment in payloads]
 
 
+def _resume_state(journal_dir: Path, run_id: str):
+    """Load and sanity-check the journal of the run being resumed."""
+    path = Journal.path_for(journal_dir, run_id)
+    records = Journal.read(path)
+    header, done = Journal.replay(records)
+    if header is None:
+        raise ConfigError(
+            f"cannot resume run {run_id!r}: no journal header found at "
+            f"{path} (was the run journalled?)")
+    return header, done
+
+
+def _make_jobs(cold: Sequence[str], keys: Dict[str, str], mode: str,
+               seed: int, max_attempts: int,
+               chaos: Optional[Dict[str, Dict[str, float]]]) -> List[Job]:
+    """Cold entries as supervised jobs, LPT order preserved."""
+    chaos = chaos or {}
+    deadline_over = chaos.get("deadline_s", {})
+    hang = chaos.get("hang_s", {})
+    jobs = []
+    for name in partition(cold, 1)[0]:
+        spec = REGISTRY[name]
+        jobs.append(Job(
+            name=name, eid=spec.eid, key=keys[name], mode=mode, seed=seed,
+            cost_s=spec.cost_s,
+            deadline_s=deadline_over.get(name,
+                                         default_deadline_s(spec.cost_s)),
+            max_attempts=max_attempts,
+            hang_s=hang.get(name, 0.0)))
+    return jobs
+
+
 def run_suite(names: Optional[Sequence[str]] = None, shards: int = 1,
               mode: str = "full", cache: Optional[ResultCache] = None,
               force: bool = False, seed: int = 0,
               log: Optional[Callable[[str], None]] = None,
-              runlog=None) -> SuiteReport:
-    """Run the registry through shards and cache; returns the report.
+              runlog=None,
+              journal_dir: Optional[Path] = None,
+              resume: Optional[str] = None,
+              max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+              chaos: Optional[Dict[str, Dict[str, float]]] = None,
+              on_event: Optional[Callable] = None) -> SuiteReport:
+    """Run the registry through supervised jobs and the cache.
 
     ``names`` defaults to every registry entry.  ``cache=None`` disables
     the store entirely; ``force=True`` keeps the store but ignores hits
     (results are still written back).
+
+    ``journal_dir`` turns on the crash-safe run journal; ``resume`` (a
+    run id from a previous journalled run) re-executes only entries
+    that run did not finish and restores finished payloads from the
+    journal, byte-identically.  A resume refuses to mix model versions:
+    the journal's source/calibration fingerprints must match the
+    working tree's.
+
+    ``shards > 1`` runs cold entries on a supervised fork-worker pool
+    (:class:`~repro.bench.jobs.JobScheduler`): per-entry deadlines,
+    seeded retry backoff, dead-worker requeue.  SIGINT/SIGTERM produce
+    a partial report flagged ``interrupted`` instead of a traceback.
+
+    ``chaos`` is the fault-injection side door used by
+    :mod:`repro.faults.harness_chaos`:
+    ``{"hang_s": {entry: s}, "deadline_s": {entry: s}}`` force an
+    entry's first attempt to hang and/or tighten its deadline.
+    ``on_event`` observes every supervisor event (the harness uses it
+    to SIGKILL workers mid-run).
 
     ``runlog`` (a :class:`repro.obs.runlog.RunLog`) turns on wall-clock
     run telemetry: per-shard worker timelines and per-entry spans land
@@ -282,6 +342,16 @@ def run_suite(names: Optional[Sequence[str]] = None, shards: int = 1,
     """
     if mode not in MODES:
         raise ConfigError(f"unknown suite mode {mode!r}")
+
+    resumed_payloads: Dict[str, str] = {}
+    if resume is not None:
+        jdir = Path(journal_dir or DEFAULT_JOURNAL_DIR)
+        header, resumed_payloads = _resume_state(jdir, resume)
+        mode = header.get("mode", mode)
+        seed = header.get("seed", seed)
+        names = header.get("entries", names)
+        journal_dir = jdir
+
     names = list(REGISTRY) if names is None else list(names)
     unknown = [n for n in names if n not in REGISTRY]
     if unknown:
@@ -310,6 +380,14 @@ def run_suite(names: Optional[Sequence[str]] = None, shards: int = 1,
 
     calib_fp = calibration_fingerprint()
     sources_fp = sources_fingerprint()
+    if resume is not None:
+        if (header.get("calibration_fingerprint") != calib_fp
+                or header.get("sources_fingerprint") != sources_fp):
+            raise ConfigError(
+                f"cannot resume run {resume!r}: the repro sources or "
+                "calibration changed since that run was journalled; "
+                "results would not be comparable — run without --resume")
+
     report = SuiteReport(mode=mode, shards=max(1, shards), seed=seed,
                          calibration_fp=calib_fp, sources_fp=sources_fp)
     start = time.perf_counter()
@@ -320,9 +398,30 @@ def run_suite(names: Optional[Sequence[str]] = None, shards: int = 1,
     keys = {name: cache_key(name, REGISTRY[name].params_for(mode),
                             calib_fp, sources_fp, seed)
             for name in names}
+
+    journal: Optional[Journal] = None
+    if resume is not None:
+        report.run_id = resume
+        journal = Journal.resume(Path(journal_dir), resume)
+    elif journal_dir is not None:
+        report.run_id = new_run_id(mode, seed)
+        journal = Journal.create(
+            Path(journal_dir), report.run_id, mode=mode, seed=seed,
+            shards=max(1, shards), entries=names,
+            calibration_fingerprint=calib_fp,
+            sources_fingerprint=sources_fp)
+    if journal is not None:
+        report.journal_path = str(journal.path)
+
     results: Dict[str, EntryResult] = {}
     cold: List[str] = []
     for name in names:
+        if name in resumed_payloads:
+            results[name] = EntryResult(
+                name=name, eid=REGISTRY[name].eid, mode=mode,
+                key=keys[name], cache="journal", shard=None, wall_s=0.0,
+                payload_json=resumed_payloads[name])
+            continue
         hit = cache_get(keys[name])
         if hit is not None:
             results[name] = EntryResult(
@@ -335,77 +434,116 @@ def run_suite(names: Optional[Sequence[str]] = None, shards: int = 1,
     if log and cold:
         log(f"running {len(cold)} cold entries over "
             f"{min(max(1, shards), len(cold))} shard(s); "
-            f"{len(results)} cached")
+            f"{len(results)} cached"
+            + (f"; {len(resumed_payloads)} restored from journal"
+               if resumed_payloads else ""))
 
-    if cold:
-        origin_ns = None if runlog is None else runlog.origin_ns
-        buckets = partition(cold, shards)
-        if len(buckets) == 1:
-            collected = [(0, *_run_shard_entries(buckets[0], mode, seed,
-                                                 origin_ns))]
+    counters: Dict[str, int] = {}
+    try:
+        if cold:
+            jobs = _make_jobs(cold, keys, mode, seed, max_attempts, chaos)
+            if shards > 1:
+                if runlog is not None:
+                    runlog.event("suite", "fork",
+                                 shards=min(shards, len(jobs)))
+                scheduler = JobScheduler(jobs, run_entry, workers=shards,
+                                         journal=journal, runlog=runlog,
+                                         on_event=on_event)
+                outcome = scheduler.run()
+                counters = dict(outcome.counters)
+                report.shard_walls = outcome.worker_walls
+                report.interrupted = outcome.interrupted
+            else:
+                shard_start = time.perf_counter()
+                shard_start_ps = (None if runlog is None
+                                  else runlog.now_ps())
+                ran: List[str] = []
+                try:
+                    for job in jobs:
+                        entry_ps = (None if runlog is None
+                                    else runlog.now_ps())
+                        run_job_inline(job, run_entry, journal=journal,
+                                       on_event=on_event)
+                        job.worker = 0
+                        ran.append(job.name)
+                        counters["retries"] = (counters.get("retries", 0)
+                                               + job.attempt)
+                        if runlog is not None and entry_ps is not None:
+                            runlog.add_span(
+                                "shard0", "entry", entry_ps,
+                                int(job.wall_s * 1e12), entry=job.name)
+                except KeyboardInterrupt:
+                    report.interrupted = True
+                    if journal is not None:
+                        journal.record(
+                            "interrupt",
+                            unfinished=[j.name for j in jobs
+                                        if not j.finished])
+                report.shard_walls.append({
+                    "shard": 0, "entries": ran,
+                    "wall_s": round(time.perf_counter() - shard_start, 4),
+                })
+                if runlog is not None and shard_start_ps is not None:
+                    runlog.add_span("shard0", "shard", shard_start_ps,
+                                    runlog.now_ps() - shard_start_ps,
+                                    entries=len(ran))
+
+            for job in jobs:
+                if job.state == DONE:
+                    results[job.name] = EntryResult(
+                        name=job.name, eid=REGISTRY[job.name].eid,
+                        mode=mode, key=job.key, cache="miss",
+                        shard=job.worker, wall_s=job.wall_s,
+                        payload_json=job.payload_json)
+                    if cache is not None:
+                        cache_put(job.key, job.name, job.payload_json,
+                                  meta={"mode": mode,
+                                        "wall_s": round(job.wall_s, 4),
+                                        "seed": seed,
+                                        "calibration": calib_fp})
+                elif job.state == FAILED:
+                    results[job.name] = EntryResult(
+                        name=job.name, eid=REGISTRY[job.name].eid,
+                        mode=mode, key=job.key, cache="miss",
+                        shard=job.worker, wall_s=job.wall_s,
+                        payload_json=None, error=job.error)
+                # unfinished (interrupted) jobs stay out of the report
+
+        report.entries = [results[name] for name in names
+                          if name in results]
+        # Tiny sweeps exist for byte-stability testing only; their
+        # reduced fidelity makes anchor values meaningless, so no
+        # anchor is checked.
+        if runlog is not None:
+            with runlog.span("suite", "anchors"):
+                report.checks = (check_anchors(report.payloads)
+                                 if mode != "tiny" else [])
         else:
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in multiprocessing.get_all_start_methods()
-                else "spawn")
-            queue = ctx.SimpleQueue()
-            if runlog is not None:
-                runlog.event("suite", "fork", shards=len(buckets))
-            procs = [ctx.Process(target=_shard_main,
-                                 args=(i, bucket, mode, seed, queue,
-                                       origin_ns),
-                                 daemon=True)
-                     for i, bucket in enumerate(buckets)]
-            for p in procs:
-                p.start()
-            collected = [queue.get() for _ in procs]
-            for p in procs:
-                p.join()
-
-        for index, outcomes, shard_wall, shard_off in sorted(collected):
-            report.shard_walls.append({
-                "shard": index,
-                "entries": [name for name, _, _, _, _ in outcomes],
-                "wall_s": round(shard_wall, 4),
-            })
-            if runlog is not None and shard_off is not None:
-                # shard_off is the fork-to-first-instruction queue wait.
-                runlog.add_span(f"shard{index}", "shard",
-                                shard_off * 1000,
-                                int(shard_wall * 1e12),
-                                entries=len(outcomes),
-                                queue_wait_us=round(shard_off / 1e3, 1))
-            for name, payload, wall, error, entry_off in outcomes:
-                results[name] = EntryResult(
-                    name=name, eid=REGISTRY[name].eid, mode=mode,
-                    key=keys[name], cache="miss", shard=index, wall_s=wall,
-                    payload_json=payload, error=error)
-                if runlog is not None and entry_off is not None:
-                    detail = {"entry": name}
-                    if error is not None:
-                        detail["error"] = error
-                    runlog.add_span(f"shard{index}", "entry",
-                                    entry_off * 1000, int(wall * 1e12),
-                                    **detail)
-                if cache is not None and payload is not None:
-                    cache_put(keys[name], name, payload, meta={
-                        "mode": mode,
-                        "wall_s": round(wall, 4),
-                        "seed": seed,
-                        "calibration": calib_fp,
-                    })
-
-    report.entries = [results[name] for name in names]
-    # Tiny sweeps exist for byte-stability testing only; their reduced
-    # fidelity makes anchor values meaningless, so no anchor is checked.
-    if runlog is not None:
-        with runlog.span("suite", "anchors"):
             report.checks = (check_anchors(report.payloads)
                              if mode != "tiny" else [])
-        report.telemetry = runlog.summary()
-    else:
-        report.checks = (check_anchors(report.payloads)
-                         if mode != "tiny" else [])
-    report.wall_s = time.perf_counter() - start
+        report.wall_s = time.perf_counter() - start
+        report.robustness = {
+            **{name: counters.get(name, 0)
+               for name in ("retries", "requeues", "deadline_kills",
+                            "workers_lost", "workers_spawned",
+                            "heartbeat_kills", "spill_recoveries")},
+            "cache_corrupted": cache.corrupted if cache else 0,
+            "cache_quarantined": list(cache.quarantined) if cache else [],
+            "resumed_entries": len(resumed_payloads),
+        }
+        if runlog is not None:
+            if cache is not None and cache.corrupted:
+                runlog.metrics.counter(
+                    "suite.cache.quarantined").inc(cache.corrupted)
+            report.telemetry = runlog.summary()
+        if journal is not None:
+            journal.record("end", ok=report.ok,
+                           interrupted=report.interrupted,
+                           wall_s=round(report.wall_s, 4),
+                           entries_done=len(report.entries))
+    finally:
+        if journal is not None:
+            journal.close()
     return report
 
 

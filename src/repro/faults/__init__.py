@@ -9,13 +9,19 @@ The package splits into:
 * :mod:`repro.faults.session` — arm a plan on every engine an experiment
   builds (the ``tca-bench --fault-plan`` mechanism);
 * :mod:`repro.faults.chaos` — workloads under randomized faults with
-  end-to-end delivery and byte-exactness checks.
+  end-to-end delivery and byte-exactness checks;
+* :mod:`repro.faults.harness_chaos` — process-level chaos against the
+  *suite harness itself* (SIGKILLed workers, hung entries, corrupted
+  cache files, mid-run kills + resume), asserting byte-identical
+  output.
 
 See ``docs/robustness.md`` for the fault model and the recovery state
 machine.
 """
 
 from repro.faults.chaos import ChaosReport, run_chaos
+from repro.faults.harness_chaos import (HarnessChaosReport,
+                                        run_harness_chaos)
 from repro.faults.injector import (FaultInjector, VERDICT_CORRUPT,
                                    VERDICT_DROP, VERDICT_OK)
 from repro.faults.plan import (DescriptorFetchError, Fault, FaultPlan,
@@ -31,6 +37,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSession",
+    "HarnessChaosReport",
     "LinkFlap",
     "LostInterrupt",
     "PRESETS",
@@ -42,4 +49,5 @@ __all__ = [
     "VERDICT_DROP",
     "VERDICT_OK",
     "run_chaos",
+    "run_harness_chaos",
 ]

@@ -8,7 +8,8 @@ from repro.bench.cli import main
 from repro.bench.history import (DEFAULT_OVERHEAD_BUDGET, DEFAULT_THRESHOLD,
                                  HISTORY_SCHEMA, append_run,
                                  check_against_baseline, experiment_stats,
-                                 load_history, render_dashboard)
+                                 load_history, render_dashboard,
+                                 validate_perf_doc)
 
 
 def perf_doc(bare_eps=100_000.0, overhead=2.0, name="fig9"):
@@ -242,3 +243,54 @@ class TestDashboard:
     def test_report_cli_requires_html(self, capsys):
         assert main(["report"]) == 2
         assert "--html" in capsys.readouterr().err
+
+
+class TestValidatePerfDoc:
+    """Malformed perf/baseline documents get one-line errors, not KeyErrors."""
+
+    def test_valid_document_passes(self):
+        assert validate_perf_doc(perf_doc()) is None
+
+    def test_non_object_rejected(self):
+        assert "not a JSON object" in validate_perf_doc([1, 2, 3])
+        assert "not a JSON object" in validate_perf_doc("text")
+
+    def test_wrong_schema_rejected(self):
+        doc = perf_doc()
+        doc["schema"] = "tca-bench-perf/999"
+        problem = validate_perf_doc(doc, "baseline 'b.json'")
+        assert "tca-bench-perf/999" in problem
+        assert "baseline 'b.json'" in problem
+        assert "regenerate" in problem
+
+    def test_missing_results_rejected(self):
+        doc = perf_doc()
+        doc["results"] = []
+        assert "no 'results' rows" in validate_perf_doc(doc)
+        del doc["results"]
+        assert "no 'results' rows" in validate_perf_doc(doc)
+
+    def test_incomplete_row_rejected(self):
+        doc = perf_doc()
+        del doc["results"][1]["events_per_s"]
+        del doc["results"][1]["wall_s"]
+        problem = validate_perf_doc(doc)
+        assert "results[1]" in problem
+        assert "wall_s" in problem and "events_per_s" in problem
+
+    def test_perf_check_rejects_malformed_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"schema": "something-else/1"}))
+        rc = main(["perf", "--check", "--baseline", str(baseline)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "regenerate" in err
+        assert "Traceback" not in err
+
+    def test_report_rejects_malformed_perf_json(self, tmp_path, capsys):
+        bad = tmp_path / "perf.json"
+        bad.write_text(json.dumps({"results": "not-a-list"}))
+        rc = main(["report", "--html", str(tmp_path / "d.html"),
+                   "--perf-json", str(bad)])
+        assert rc == 2
+        assert "regenerate" in capsys.readouterr().err
