@@ -486,6 +486,116 @@ def collective_dual_ring(sizes: Sequence[int] = (1 * KiB, 4 * KiB,
     return table
 
 
+# -- E22: ring vs torus allreduce scaling ------------------------------------------------------------------
+
+def collective_torus(node_counts: Sequence[int] = (16, 64),
+                     nbytes: int = 4 * KiB) -> SweepTable:
+    """Allreduce scaling: flat ring vs square 2D torus, 16 and 64 nodes.
+
+    The §II-B scaling limit is about latency *and* schedule length: a
+    flat N-ring allreduce serializes 2(N-1) put steps.  Folding the same
+    nodes into a k x k torus (``repro.tca.fabric``) lets the collective
+    run per-dimension ring schedules instead — 2*sum(n_d - 1) steps, so
+    2(k-1) per phase pair — and the gap widens with N: 30 vs 12 steps at
+    16 nodes, 126 vs 28 at 64.  Each run goes through the critical-path
+    analyzer so the step counts land in the ``* steps`` series the
+    anchor table pins, exactly like E21.
+    """
+    import math
+
+    import numpy as np
+
+    from repro.collectives import TCACollectives
+    from repro.obs.critpath import trace_collective
+    from repro.tca.subcluster import TORUS
+
+    table = SweepTable(
+        f"E22: allreduce scaling, ring vs torus ({nbytes} B vectors)",
+        x_label="nodes", x_is_size=False, y_label="microseconds")
+    for n in node_counts:
+        side = math.isqrt(n)
+        if side * side != n:
+            raise ConfigError(
+                f"collective-torus needs square node counts, got {n}")
+        rng = np.random.default_rng(n)
+        vectors = [rng.integers(0, 1 << 32, nbytes // 4, dtype=np.uint32)
+                   for _ in range(n)]
+        for label, kwargs in (
+                ("ring", {}),
+                ("torus", {"topology": TORUS, "extents": (side, side)})):
+            cluster = TCASubCluster(n, node_params=NodeParams(num_gpus=1),
+                                    **kwargs)
+            coll = TCACollectives(cluster)
+            start = cluster.engine.now_ps
+            _, crit = trace_collective(cluster.engine,
+                                       lambda: coll.allreduce(vectors))
+            table.add(label, n, (cluster.engine.now_ps - start) / 1e6)
+            table.add(f"{label} steps", n, float(crit.step_count))
+    return table
+
+
+# -- E23: bisection bandwidth ------------------------------------------------------------------------------
+
+def bisection(node_counts: Sequence[int] = (16, 64),
+              nbytes: int = 64 * KiB) -> SweepTable:
+    """Antipodal shift traffic: aggregate bandwidth across the bisection.
+
+    Every node DMA-puts to the node half way around its dimension-0
+    ring, so every flow crosses the fabric's bisection.  A flat N-ring
+    offers two bisection links and antipodal flows pay N/2 hops; a
+    k x k torus keeps k separate dimension-0 rings (2k bisection links)
+    and antipodal is only k/2 hops, so aggregate bisection bandwidth
+    scales with k instead of staying flat.  The y value is the sum of
+    all N flows' bytes over the slowest flow's elapsed time.
+    """
+    import math
+
+    from repro.tca.subcluster import TORUS
+
+    table = SweepTable("E23: bisection bandwidth — antipodal shifts",
+                       x_label="nodes", x_is_size=False)
+    for n in node_counts:
+        side = math.isqrt(n)
+        if side * side != n:
+            raise ConfigError(
+                f"bisection needs square node counts, got {n}")
+        for label, kwargs in (
+                ("ring", {}),
+                ("torus", {"topology": TORUS, "extents": (side, side)})):
+            cluster = TCASubCluster(n, node_params=NodeParams(num_gpus=1),
+                                    **kwargs)
+            engine = cluster.engine
+            comm_map = cluster.address_map
+
+            def partner(src: int) -> int:
+                if label == "torus":
+                    coords = list(cluster.geometry.coords_of(src))
+                    coords[0] = (coords[0] + side // 2) % side
+                    return cluster.geometry.index_of(coords)
+                return (src + n // 2) % n
+
+            def flow(src: int):
+                dst = partner(src)
+                driver = cluster.driver(src)
+                chip = cluster.board(src).chip
+                target = comm_map.global_address(
+                    dst, 2, cluster.driver(dst).dma_buffer(0))
+                chain = [DMADescriptor(chip.bar2.base + i * 4096,
+                                       target + i * 4096, 4096)
+                         for i in range(nbytes // 4096)]
+                elapsed = yield engine.process(driver.run_chain(0, chain))
+                return elapsed
+
+            procs = [engine.process(flow(src), name=f"bisect{src}")
+                     for src in range(n)]
+            while not all(p.done for p in procs):
+                if not engine.step():
+                    raise ConfigError("bisection run deadlocked")
+            worst = max(p.result for p in procs)
+            table.add(label, n, n * bw_gbytes_per_s(nbytes, worst))
+    return table
+
+
 # -- E13: functional routing (§III-E, Figs. 4-5) ------------------------------------------------------------
 
 def routing(ring_sizes: Iterable[int] = (2, 3, 4, 8)) -> Dict[str, object]:
@@ -608,7 +718,7 @@ def ablation_ntb() -> Dict[str, object]:
     }
 
 
-# -- the experiment registry (E1-E21) -----------------------------------------------------------------------
+# -- the experiment registry (E1-E23) -----------------------------------------------------------------------
 
 @dataclass(frozen=True)
 class ExperimentSpec:
@@ -721,10 +831,19 @@ def _specs() -> List[ExperimentSpec]:
           smoke_params={"sizes": (1 * KiB,)},
           tiny_params={"sizes": (1 * KiB,), "num_nodes": 4},
           cost_s=2.0),
+        S("E22", "collective-torus", collective_torus,
+          "allreduce scaling: ring vs 2D torus", "extension",
+          tiny_params={"node_counts": (4,), "nbytes": 1 * KiB},
+          cost_s=8.0),
+        S("E23", "bisection", bisection,
+          "bisection bandwidth: antipodal shifts", "extension",
+          smoke_params={"node_counts": (16,)},
+          tiny_params={"node_counts": (4,), "nbytes": 16 * KiB},
+          cost_s=23.0),
     ]
 
 
-#: Registry entry name -> spec; covers experiments E1 through E21.
+#: Registry entry name -> spec; covers experiments E1 through E23.
 REGISTRY: Dict[str, ExperimentSpec] = {s.name: s for s in _specs()}
 
 #: The distinct experiment ids the registry covers, in paper order.

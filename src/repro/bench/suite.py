@@ -1,6 +1,6 @@
 """Sharded experiment-suite runner with result caching and anchor checks.
 
-``tca-bench suite`` fans the E1-E19 registry
+``tca-bench suite`` fans the full E1-E23 registry
 (:data:`repro.bench.experiments.REGISTRY`) out across worker processes,
 caches every result in a content-addressed store
 (:mod:`repro.bench.cache`), and checks the full anchor table
@@ -665,6 +665,20 @@ def _md_collective_dual_ring(p):
                           x_header="vector", fmt="{:.4g} µs")
 
 
+def _md_collective_torus(p):
+    return _sweep_columns(p, [("ring", "ring (µs)"),
+                              ("torus", "torus (µs)"),
+                              ("ring steps", "ring steps"),
+                              ("torus steps", "torus steps")],
+                          x_header="nodes", x_is_size=False, fmt="{:.4g}")
+
+
+def _md_bisection(p):
+    return _sweep_columns(p, [("ring", "ring (GB/s)"),
+                              ("torus", "torus (GB/s)")],
+                          x_header="nodes", x_is_size=False, fmt="{:.2f}")
+
+
 #: Registry entry name -> EXPERIMENTS.md table renderer.
 MD_RENDERERS: Dict[str, Callable[[Dict[str, object]], str]] = {
     "theory": _md_theory,
@@ -679,6 +693,8 @@ MD_RENDERERS: Dict[str, Callable[[Dict[str, object]], str]] = {
     "contention": _md_contention,
     "collective-allreduce": _md_collective_allreduce,
     "collective-dual-ring": _md_collective_dual_ring,
+    "collective-torus": _md_collective_torus,
+    "bisection": _md_bisection,
 }
 
 

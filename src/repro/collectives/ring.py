@@ -28,7 +28,7 @@ from repro.errors import ConfigError
 from repro.peach2.registers import PortCode
 from repro.tca.comm import TCAComm
 from repro.tca.notify import FlagPool
-from repro.tca.subcluster import DUAL_RING, RING, TCASubCluster
+from repro.tca.subcluster import DUAL_RING, RING, TORUS, TCASubCluster
 from repro.tca.topology import ring_neighbor
 
 #: Staging regions are page-aligned, like the real driver's allocations.
@@ -40,7 +40,10 @@ PIO_THRESHOLD = 2048
 
 # Flag-index plan (one FlagPool, 64 flags; rings hold at most 16 nodes so
 # a phase needs at most 15 step flags).  Distinct phases use distinct
-# flags; sequence numbers make reuse across invocations safe.
+# flags; sequence numbers make reuse across invocations safe.  Clusters
+# beyond 16 nodes (torus fabrics, 64-node flat rings) scale this plan
+# per instance — see :meth:`TCACollectives._plan_flags`; up to 16 nodes
+# the instance plan equals these module constants exactly.
 FLAG_RS = 0        # reduce-scatter steps          0..14
 FLAG_AG = 16       # allgather steps              16..30
 FLAG_X = 32        # one cross-ring S exchange
@@ -69,7 +72,8 @@ class TCACollectives:
         self.cluster = cluster
         self.engine = cluster.engine
         self.comm = TCAComm(cluster)
-        self.flags = FlagPool(cluster, self.comm)
+        num_flags = self._plan_flags(cluster.num_nodes)
+        self.flags = FlagPool(cluster, self.comm, num_flags=num_flags)
         self.pio_threshold = pio_threshold
         self.schedulers = [ChannelScheduler(cluster, node_id)
                            for node_id in range(cluster.num_nodes)]
@@ -86,6 +90,30 @@ class TCACollectives:
         self._expect: Dict[Tuple[int, int], int] = {}
 
     # -- plumbing -----------------------------------------------------------------
+
+    def _plan_flags(self, n: int) -> int:
+        """Lay out the per-instance flag banks; returns the pool size.
+
+        Up to 16 nodes this reproduces the module-level plan (FLAG_RS=0,
+        FLAG_AG=16, ...) exactly.  Larger fabrics need up to n-1 step
+        flags per phase bank, so the banks stretch and the FlagPool
+        grows to match (the flag region is a sliver of the 16-MiB DMA
+        buffer either way).
+        """
+        if n <= 16:
+            self._flag_rs = FLAG_RS
+            self._flag_ag = FLAG_AG
+            self._flag_x = FLAG_X
+            self._flag_bcast = FLAG_BCAST
+            self._flag_barrier = FLAG_BARRIER
+            return 64
+        steps = n - 1
+        self._flag_rs = 0
+        self._flag_ag = steps
+        self._flag_x = 2 * steps
+        self._flag_bcast = 2 * steps + 1
+        self._flag_barrier = 2 * steps + 2
+        return self._flag_barrier + (n - 1).bit_length()
 
     def _wait(self, node: int, flag: int):
         """Process: wait for the next notification on a local flag."""
@@ -223,8 +251,8 @@ class TCACollectives:
                 yield from self._put_flagged(
                     rank, block_id * block_bytes,
                     east, block_id * block_bytes,
-                    block_bytes, FLAG_AG + step)
-                yield from self._wait(rank, FLAG_AG + step)
+                    block_bytes, self._flag_ag + step)
+                yield from self._wait(rank, self._flag_ag + step)
 
         self._run({rank: worker(rank) for rank in range(n)}, "allgather")
 
@@ -285,8 +313,8 @@ class TCACollectives:
                 send = (rank - step) % n
                 yield from self._put_flagged(
                     rank, send * chunk, east, staging + step * chunk,
-                    chunk, FLAG_RS + step)
-                yield from self._wait(rank, FLAG_RS + step)
+                    chunk, self._flag_rs + step)
+                yield from self._wait(rank, self._flag_rs + step)
                 self._reduce_into(rank, ((rank - step - 1) % n) * chunk,
                                   staging + step * chunk, chunk)
 
@@ -310,7 +338,8 @@ class TCACollectives:
     # -- allreduce ----------------------------------------------------------------
 
     def allreduce(self, vectors: Sequence[np.ndarray],
-                  hierarchical: Optional[bool] = None) -> List[np.ndarray]:
+                  hierarchical: Optional[bool] = None,
+                  torus: Optional[bool] = None) -> List[np.ndarray]:
         """Ring allreduce (uint32 modular sum); every node gets the sum.
 
         Flat form: reduce-scatter then allgather over one logical ring —
@@ -319,20 +348,39 @@ class TCACollectives:
         reduce-scatters in parallel, same-column partners exchange their
         owned chunk over the S cables, then each ring allgathers:
         2(N/2-1)+1 = N-1 steps, about half the flat latency.
+
+        On a TORUS cluster (the default there; force with ``torus``) the
+        collective goes per-dimension: reduce-scatter along each
+        dimension's ring in turn (regions shrinking by that dimension's
+        extent), then allgather back in reverse order — 2*sum(n_d - 1)
+        serialized steps instead of 2(N-1), e.g. 28 versus 126 on an
+        8x8 torus.
         """
+        if torus is None:
+            torus = self.cluster.topology == TORUS
+        elif torus and self.cluster.topology != TORUS:
+            raise ConfigError("torus allreduce needs a TORUS sub-cluster")
         if hierarchical is None:
-            hierarchical = self.cluster.topology == DUAL_RING
+            hierarchical = (not torus
+                            and self.cluster.topology == DUAL_RING)
         if hierarchical and self.cluster.topology != DUAL_RING:
             raise ConfigError("hierarchical allreduce needs a DUAL_RING "
                               "sub-cluster")
+        if hierarchical and torus:
+            raise ConfigError("hierarchical and torus allreduce are "
+                              "mutually exclusive")
         n = self.cluster.num_nodes
         num_chunks = (n // 2) if hierarchical else n
         vectors, words = self._check_vectors(vectors, num_chunks)
         nbytes = words * 4
         chunk = nbytes // num_chunks
         staging = _align(nbytes)
-        slots = num_chunks - 1 + (1 if hierarchical else 0)
-        if staging + max(slots, 1) * chunk > self.data_bytes:
+        if torus:
+            slots_bytes = self._torus_staging_bytes(nbytes)
+        else:
+            slots = num_chunks - 1 + (1 if hierarchical else 0)
+            slots_bytes = max(slots, 1) * chunk
+        if staging + slots_bytes > self.data_bytes:
             raise ConfigError("vectors too large for the DMA buffers")
 
         for rank in range(n):
@@ -341,6 +389,8 @@ class TCACollectives:
 
         if hierarchical:
             workers = self._allreduce_dual_workers(nbytes, chunk, staging)
+        elif torus:
+            workers = self._allreduce_torus_workers(nbytes)
         else:
             workers = {rank: self._allreduce_flat_worker(rank, chunk)
                        for rank in range(n)}
@@ -373,16 +423,16 @@ class TCACollectives:
             send = (rank - step) % n
             yield from self._put_flagged(
                 rank, send * chunk, east, staging + step * chunk,
-                chunk, FLAG_RS + step)
-            yield from self._wait(rank, FLAG_RS + step)
+                chunk, self._flag_rs + step)
+            yield from self._wait(rank, self._flag_rs + step)
             self._reduce_into(rank, ((rank - step - 1) % n) * chunk,
                               staging + step * chunk, chunk)
         for step in range(n - 1):
             send = (rank + 1 - step) % n
             yield from self._put_flagged(
                 rank, send * chunk, east, send * chunk,
-                chunk, FLAG_AG + step)
-            yield from self._wait(rank, FLAG_AG + step)
+                chunk, self._flag_ag + step)
+            yield from self._wait(rank, self._flag_ag + step)
 
     def _allreduce_dual_workers(self, nbytes: int, chunk: int,
                                 staging: int) -> Dict[int, object]:
@@ -400,30 +450,104 @@ class TCACollectives:
                 send = (pos - step) % half
                 yield from self._put_flagged(
                     node, send * chunk, east, staging + step * chunk,
-                    chunk, FLAG_RS + step)
-                yield from self._wait(node, FLAG_RS + step)
+                    chunk, self._flag_rs + step)
+                yield from self._wait(node, self._flag_rs + step)
                 self._reduce_into(node, ((pos - step - 1) % half) * chunk,
                                   staging + step * chunk, chunk)
             # Phase 2: both columns swap their owned chunk over S and
             # add — after this it is reduced over the whole cluster.
             owned = (pos + 1) % half
             yield from self._put_flagged(node, owned * chunk, partner,
-                                         xslot, chunk, FLAG_X)
-            yield from self._wait(node, FLAG_X)
+                                         xslot, chunk, self._flag_x)
+            yield from self._wait(node, self._flag_x)
             self._reduce_into(node, owned * chunk, xslot, chunk)
             # Phase 3: allgather inside this ring.
             for step in range(half - 1):
                 send = (pos + 1 - step) % half
                 yield from self._put_flagged(
                     node, send * chunk, east, send * chunk,
-                    chunk, FLAG_AG + step)
-                yield from self._wait(node, FLAG_AG + step)
+                    chunk, self._flag_ag + step)
+                yield from self._wait(node, self._flag_ag + step)
 
         workers: Dict[int, object] = {}
         for pos in range(half):
             workers[ring_a[pos]] = worker(ring_a, ring_b, pos)
             workers[ring_b[pos]] = worker(ring_b, ring_a, pos)
         return workers
+
+    def _torus_phases(self, nbytes: int):
+        """Per-dimension (chunk, staging base, flag offset) of the torus
+        allreduce: phase d splits the previous region by extent d."""
+        geometry = self.cluster.geometry
+        phases = []
+        size, stage, flag_off = nbytes, _align(nbytes), 0
+        for extent in geometry.extents:
+            chunk = size // extent
+            phases.append((chunk, stage, flag_off))
+            stage += (extent - 1) * chunk
+            flag_off += extent - 1
+            size = chunk
+        return phases
+
+    def _torus_staging_bytes(self, nbytes: int) -> int:
+        """Bytes of staging the torus phases need past ``_align(nbytes)``."""
+        phases = self._torus_phases(nbytes)
+        last_chunk, last_stage, _ = phases[-1]
+        extent = self.cluster.geometry.extents[-1]
+        return (last_stage + (extent - 1) * last_chunk) - _align(nbytes)
+
+    def _allreduce_torus_workers(self, nbytes: int) -> Dict[int, object]:
+        """Workers for the per-dimension torus allreduce.
+
+        Reduce-scatter sweeps dimensions 0..D-1: each phase runs the
+        flat RS schedule on the node's dimension-d ring over its current
+        region, then keeps chunk (p_d + 1) mod n_d as the next region.
+        Allgather sweeps back D-1..0 rebuilding each region in place.
+        Every phase stages into its own slot range (disjoint across
+        phases), so a fast ring can run ahead without overwriting data a
+        slower neighbour has not consumed; each phase also gets its own
+        flag-bank offset, so step flags never collide across phases.
+        """
+        geometry = self.cluster.geometry
+        extents = geometry.extents
+        phases = self._torus_phases(nbytes)
+
+        def worker(node: int):
+            coords = geometry.coords_of(node)
+            bases: List[int] = []
+            base = 0
+            for dim, extent in enumerate(extents):
+                chunk, stage, flag_off = phases[dim]
+                pos = coords[dim]
+                plus = geometry.neighbor(node, dim, 1)
+                flag = self._flag_rs + flag_off
+                bases.append(base)
+                for step in range(extent - 1):
+                    send = (pos - step) % extent
+                    yield from self._put_flagged(
+                        node, base + send * chunk, plus,
+                        stage + step * chunk, chunk, flag + step)
+                    yield from self._wait(node, flag + step)
+                    self._reduce_into(
+                        node, base + ((pos - step - 1) % extent) * chunk,
+                        stage + step * chunk, chunk)
+                base += ((pos + 1) % extent) * chunk
+            for dim in reversed(range(len(extents))):
+                chunk, _, flag_off = phases[dim]
+                extent = extents[dim]
+                pos = coords[dim]
+                plus = geometry.neighbor(node, dim, 1)
+                flag = self._flag_ag + flag_off
+                base = bases[dim]
+                for step in range(extent - 1):
+                    send = (pos + 1 - step) % extent
+                    yield from self._put_flagged(
+                        node, base + send * chunk, plus,
+                        base + send * chunk, chunk, flag + step)
+                    yield from self._wait(node, flag + step)
+
+        return {node: worker(node)
+                for node in range(self.cluster.num_nodes)}
 
     # -- broadcast ----------------------------------------------------------------
 
@@ -489,7 +613,7 @@ class TCACollectives:
         def forward(direction: PortCode):
             nxt = ring_neighbor(ring, node, direction)
             yield from self._put_flagged(node, 0, nxt, 0, nbytes,
-                                         FLAG_BCAST)
+                                         self._flag_bcast)
 
         if node == root:
             branches = []
@@ -502,11 +626,11 @@ class TCACollectives:
             for branch in branches:
                 yield branch
         elif 1 <= de <= east_depth:
-            yield from self._wait(node, FLAG_BCAST)
+            yield from self._wait(node, self._flag_bcast)
             if de < east_depth:
                 yield from forward(PortCode.E)
         else:
-            yield from self._wait(node, FLAG_BCAST)
+            yield from self._wait(node, self._flag_bcast)
             if dw < west_depth:
                 yield from forward(PortCode.W)
 
@@ -523,13 +647,13 @@ class TCACollectives:
             # Cross to the S partner while this ring's E/W puts run.
             def cross():
                 yield from self._put_flagged(root, 0, partner, 0, nbytes,
-                                             FLAG_X)
+                                             self._flag_x)
             branch = self.engine.process(cross(), name=f"bcast{root}.S")
             yield from self._bcast_ring_worker(my_ring, root, root, nbytes)
             yield branch
 
         def partner_worker():
-            yield from self._wait(partner, FLAG_X)
+            yield from self._wait(partner, self._flag_x)
             yield from self._bcast_ring_worker(other_ring, partner,
                                                partner, nbytes)
 
@@ -560,8 +684,8 @@ class TCACollectives:
         def worker(rank: int):
             for r in range(rounds):
                 self.flags.signal(rank, (rank + (1 << r)) % n,
-                                  FLAG_BARRIER + r)
-                yield from self._wait(rank, FLAG_BARRIER + r)
+                                  self._flag_barrier + r)
+                yield from self._wait(rank, self._flag_barrier + r)
 
         start = self.engine.now_ps
         self._run({rank: worker(rank) for rank in range(n)}, "barrier")
@@ -591,14 +715,16 @@ def ring_reduce_scatter(cluster: TCASubCluster, nbytes: int = 4096,
 
 def ring_allreduce(cluster: TCASubCluster, nbytes: int = 4096,
                    seed: int = 7,
-                   hierarchical: Optional[bool] = None) -> List[np.ndarray]:
+                   hierarchical: Optional[bool] = None,
+                   torus: Optional[bool] = None) -> List[np.ndarray]:
     """Seeded one-shot allreduce; returns each node's reduced vector."""
     rng = np.random.default_rng(seed)
     words = nbytes // 4
     vectors = [rng.integers(0, 1 << 32, words, dtype=np.uint32)
                for _ in range(cluster.num_nodes)]
     return TCACollectives(cluster).allreduce(vectors,
-                                             hierarchical=hierarchical)
+                                             hierarchical=hierarchical,
+                                             torus=torus)
 
 
 def ring_broadcast(cluster: TCASubCluster, nbytes: int = 4096,

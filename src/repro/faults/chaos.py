@@ -100,17 +100,23 @@ def run_chaos(plan: FaultPlan, num_nodes: int = 6,
               max_round_retries: int = 16,
               max_dma_attempts: int = 3,
               watchdog_interval_ps: Optional[int] = None,
-              retry_policy: Optional[RetryPolicy] = None) -> ChaosReport:
+              retry_policy: Optional[RetryPolicy] = None,
+              topology: str = "ring",
+              extents: Optional[List[int]] = None) -> ChaosReport:
     """Run the chaos scenario; returns a :class:`ChaosReport`.
 
     ``cut_east_node`` schedules a hard cable cut (the PEARL failure) at
     ``cut_at_ps``, on top of whatever the plan injects; pass ``None`` to
     rely on the plan alone.  Raises :class:`FaultError` if a ping-pong
     round exceeds ``max_round_retries`` — the scenario's recovery budget.
+    ``topology``/``extents`` select the fabric (ring by default; pass
+    ``topology="torus", extents=(k, k)`` to chaos-test a torus — the cut
+    then lands on a dimension-0 cable and heals via the fabric builder).
     """
     engine = Engine()
     injector = FaultInjector(plan).arm(engine)
-    cluster = TCASubCluster(num_nodes, engine=engine)
+    cluster = TCASubCluster(num_nodes, topology=topology, extents=extents,
+                            engine=engine)
     cluster.enable_auto_heal(watchdog_interval_ps)
     report = ChaosReport(plan_name=plan.name, seed=plan.seed,
                          num_nodes=num_nodes, dma_bytes=dma_bytes)
@@ -220,6 +226,10 @@ def run_chaos(plan: FaultPlan, num_nodes: int = 6,
         report.replays += link.replays
         report.naks += link.naks
         report.tlps_dropped += link.tlps_dropped
+    # Egress-stage drops (a healed route landing mid-flight) never reach
+    # a link's serializer, so the link counters above miss them; the
+    # forwarding stage records each one once in the injector.
+    report.tlps_dropped += injector.counters.get("tlps_dropped_egress", 0)
     report.faults_injected = dict(injector.counters)
     injector.flush_metrics()
     return report

@@ -169,7 +169,7 @@ class AnchorCheck:
         return f"[{mark}] {self.anchor.name}: {value}"
 
 
-#: Every numeric promise of EXPERIMENTS.md, E1 through E21.
+#: Every numeric promise of EXPERIMENTS.md, E1 through E23.
 ANCHORS: List[Anchor] = [
     # E1/E2 — specification tables reproduced verbatim.
     Anchor("table1-total-peak", "table1",
@@ -408,6 +408,37 @@ ANCHORS: List[Anchor] = [
            "the hierarchical 8-node allreduce serializes exactly N-1=7 "
            "critical-path steps (flat: 2(N-1)=14)",
            _sweep("dual-ring steps", KiB), 7.0, 0.0, section="§III-D"),
+
+    # E22 — ring vs torus allreduce scaling.
+    Anchor("torus-allreduce-speedup-16", "collective-torus",
+           "folding 16 nodes into a 4x4 torus speeds the 4-KiB allreduce "
+           "by >= 1.5x (30 vs 12 put steps)",
+           _sweep_ratio("ring", 16, "torus", 16), 1.5, 0.0,
+           cmp="ge", section="fabric"),
+    Anchor("torus-allreduce-speedup-64", "collective-torus",
+           "at 64 nodes the 8x8 torus wins by >= 3x (126 vs 28 put "
+           "steps) — the gap widens with N",
+           _sweep_ratio("ring", 64, "torus", 64), 3.0, 0.0,
+           cmp="ge", section="fabric"),
+    Anchor("torus-critpath-steps-16", "collective-torus",
+           "the 4x4 torus allreduce serializes exactly "
+           "2*sum(n_d-1) = 12 critical-path steps",
+           _sweep("torus steps", 16), 12.0, 0.0, section="fabric"),
+    Anchor("torus-critpath-steps-64", "collective-torus",
+           "the 8x8 torus allreduce serializes exactly "
+           "2*sum(n_d-1) = 28 critical-path steps (flat ring: 126)",
+           _sweep("torus steps", 64), 28.0, 0.0, section="fabric"),
+
+    # E23 — bisection bandwidth.
+    Anchor("bisection-ring-aggregate-16", "bisection",
+           "antipodal shifts on a 16-ring saturate its two bisection "
+           "links at ~7.3 Gbytes/s aggregate",
+           _sweep("ring", 16), 7.27, 0.005, section="fabric"),
+    Anchor("bisection-torus-advantage-16", "bisection",
+           "the 4x4 torus carries >= 3.5x the ring's bisection traffic "
+           "(2k links and k/2-hop antipodes vs 2 links and N/2 hops)",
+           _sweep_ratio("torus", 16, "ring", 16), 3.5, 0.0,
+           cmp="ge", section="fabric"),
 ]
 
 

@@ -121,6 +121,12 @@ class EgressQueue:
                 if self.engine.faults is None:
                     raise
                 self.tlps_dropped += 1
+                # The dead link never serialized this packet, so no
+                # link-level counter saw it: record the drop in the
+                # fabric-wide fault accounting here (exactly once) so
+                # healed-mid-flight losses show up in ``--metrics`` and
+                # chaos reports instead of being under-counted.
+                self.engine.faults.count("tlps_dropped_egress")
                 if self.engine.tracer is not None:
                     self.engine.trace(self.name, "egress-drop",
                                       tlp=tlp.kind.value)

@@ -88,6 +88,38 @@ class PEACH2Board:
                         self.cable_params(),
                         name=f"{self.name}.E<->{other.name}.W")
 
+    def cable_dim_to(self, dim: int, other: "PEACH2Board") -> PCIeLink:
+        """Cable this board's plus port of torus dimension ``dim`` to the
+        peer's minus port: E->W, S->T, U->D.
+
+        Dimension 1 reuses the S-port sub-board (repeater latency
+        included); its minus side lands on the peer's T port, so the
+        EP/RC pairing always trains without reconfiguration.  Dimensions
+        1 and 2 need chips built with ``torus_ports``.
+        """
+        if dim == 0:
+            return self.cable_east_to(other)
+        if dim not in (1, 2):
+            raise ConfigError(f"no cable ports for torus dimension {dim}")
+        if not (self.chip.params.torus_ports
+                and other.chip.params.torus_ports):
+            raise ConfigError(
+                f"{self.name}/{other.name}: dimension-{dim} cables need "
+                "chips built with torus_ports")
+        if dim == 1:
+            a, b = self.chip.port_s, other.chip.port_t
+            names, params = "S<->T", self.cable_params(for_port_s=True)
+        else:
+            a, b = self.chip.port_u, other.chip.port_d
+            names, params = "U<->D", self.cable_params()
+        if not a.role.can_train_with(b.role):
+            raise ConfigError(
+                f"{self.name}/{other.name}: {names} ports cannot train "
+                f"({a.role.value} vs {b.role.value})")
+        plus, minus = names.split("<->")
+        return PCIeLink(self.engine, a, b, params,
+                        name=f"{self.name}.{plus}<->{other.name}.{minus}")
+
     def cable_south_to(self, other: "PEACH2Board") -> PCIeLink:
         """Couple two rings via the S ports (one must be RC, the other EP).
 

@@ -35,8 +35,10 @@ from repro.pcie.port import Port, PortRole
 from repro.pcie.tlp import TLP, TLPKind, make_completion
 from repro.peach2.dma import DMAController
 from repro.peach2.firmware import NIOSFirmware
-from repro.peach2.registers import (BAR0_SIZE, NUM_DMA_CHANNELS, PortCode,
-                                    RegisterFile, RouteEntry)
+from repro.peach2.registers import (BAR0_SIZE, NUM_DMA_CHANNELS,
+                                    NUM_ROUTE_ENTRIES, ROUTE_ENTRY_BYTES,
+                                    ROUTE_TABLE_BASE, PortCode, RegisterFile,
+                                    RouteEntry)
 from repro.sim.core import Engine
 from repro.units import MiB
 
@@ -52,6 +54,13 @@ class PEACH2Params:
     dynamic_port_s: bool = False
     num_dma_channels: int = NUM_DMA_CHANNELS
     calib: Calibration = CALIB
+    #: Torus fabrics: populate the extra per-dimension ports (T pairs
+    #: with S for dimension 1, U/D serve dimension 2).  The paper's
+    #: 4-port chip leaves this off.
+    torus_ports: bool = False
+    #: Comparator-table depth; 3D fabrics need the deepened 16-entry
+    #: table, the paper's chip has 8.
+    num_route_entries: int = NUM_ROUTE_ENTRIES
 
 
 class PEACH2Chip(Device):
@@ -62,7 +71,8 @@ class PEACH2Chip(Device):
         super().__init__(engine, name)
         self.params = params
         calib = params.calib
-        self.regs = RegisterFile(name=f"{name}.regs")
+        self.regs = RegisterFile(name=f"{name}.regs",
+                                 num_route_entries=params.num_route_entries)
         self.internal = BackingStore(params.internal_memory_bytes,
                                      name=f"{name}.internal")
         self.tags = TagPool(engine, name=f"{name}.tags")
@@ -79,6 +89,20 @@ class PEACH2Chip(Device):
             PortCode.N: self.port_n, PortCode.E: self.port_e,
             PortCode.W: self.port_w, PortCode.S: self.port_s,
         }
+        if params.torus_ports:
+            # Fixed roles mirror the E/W pair per dimension: the plus
+            # port is an Endpoint, the minus port a Root Complex, so
+            # plus->minus cables always train EP<->RC.
+            self.port_t = Port(engine, f"{name}.T", PortRole.RC, self,
+                               rx_credits=64)
+            self.port_u = Port(engine, f"{name}.U", PortRole.EP, self,
+                               rx_credits=64)
+            self.port_d = Port(engine, f"{name}.D", PortRole.RC, self,
+                               rx_credits=64)
+            self._ports_by_code.update({
+                PortCode.T: self.port_t, PortCode.U: self.port_u,
+                PortCode.D: self.port_d,
+            })
         residual = (calib.peach2_route_latency_ps
                     - calib.peach2_issue_interval_ps)
         self._egress: Dict[int, EgressQueue] = {
@@ -133,7 +157,9 @@ class PEACH2Chip(Device):
     def _routes(self) -> list:
         # Rebuild the decoded table when its raw bytes change (cheap:
         # compare the comparator area's bytes).
-        raw = self.regs.raw[0x100:0x200]
+        table_end = (ROUTE_TABLE_BASE
+                     + self.regs.num_route_entries * ROUTE_ENTRY_BYTES)
+        raw = self.regs.raw[ROUTE_TABLE_BASE:table_end]
         key = raw.tobytes()
         if self._route_cache is None or self._route_cache[0] != key:
             self._route_cache = (key, self.regs.routes())
@@ -306,7 +332,10 @@ class PEACH2Chip(Device):
         if stride == 0:
             return None
         offset = address - regs.tca_base
-        window = stride * 16  # the full 512-GB window holds 16 slots
+        # The window size comes from BAR4 (the whole 512-GB region), not
+        # from stride * 16: a 64-node fabric shrinks the stride, but the
+        # window still holds every node's slot.
+        window = self.bar4.size if self.bar4 is not None else stride * 16
         if offset < 0 or offset >= window:
             return None
         return int((offset % stride) // regs.block_size)

@@ -62,11 +62,33 @@ class NIOSFirmware:
             self._port_status[id(port)] = status
         return status
 
+    def _all_ports(self):
+        ports = [self.chip.port_n, self.chip.port_e, self.chip.port_w,
+                 self.chip.port_s]
+        for extra in ("port_t", "port_u", "port_d"):
+            port = getattr(self.chip, extra, None)
+            if port is not None:
+                ports.append(port)
+        return ports
+
+    def _fabric_ports(self):
+        """The cable-bearing ports the watchdog guards.
+
+        E/W always (the paper's ring); on a torus chip the S/T and U/D
+        dimension pairs are ring cables too, so they join the watch list.
+        """
+        ports = [self.chip.port_e, self.chip.port_w]
+        if getattr(self.chip, "port_t", None) is not None:
+            ports += [self.chip.port_s, self.chip.port_t]
+        port_u = getattr(self.chip, "port_u", None)
+        if port_u is not None:
+            ports += [port_u, self.chip.port_d]
+        return ports
+
     def scan_links(self) -> Dict[str, bool]:
         """Poll every port's link state; log transitions."""
         states: Dict[str, bool] = {}
-        for port in (self.chip.port_n, self.chip.port_e, self.chip.port_w,
-                     self.chip.port_s):
+        for port in self._all_ports():
             status = self._status_of(port)
             up = port.connected and port.link.up
             if up != status.link_up:
@@ -113,7 +135,7 @@ class NIOSFirmware:
                 return
             self.watchdog_scans += 1
             self.scan_links()
-            for port in (self.chip.port_e, self.chip.port_w):
+            for port in self._fabric_ports():
                 if not port.connected:
                     continue
                 link = port.link

@@ -37,6 +37,9 @@ REG_MSI_VECTOR = 0x028
 ROUTE_TABLE_BASE = 0x100
 ROUTE_ENTRY_BYTES = 32          # mask(8) lower(8) upper(8) port(1) valid(1) pad
 NUM_ROUTE_ENTRIES = 8
+# A deeper table (for 3D torus fabrics) may grow up to the block-base
+# table: 0x100 + 16 * 32 == 0x300, so 16 entries fill the gap exactly.
+MAX_ROUTE_ENTRIES = 16
 
 BLOCK_BASE_TABLE = 0x300        # four 8-byte local base addresses
 NUM_BLOCKS = 4
@@ -57,12 +60,22 @@ DEFAULT_BLOCK_SIZE = 8 * GiB
 
 
 class PortCode(enum.IntEnum):
-    """Output-port encoding used in route entries."""
+    """Output-port encoding used in route entries.
+
+    N/E/W/S are the paper's four physical ports.  T, U and D extend the
+    encoding for torus fabrics: S/T form the dimension-1 (plus/minus)
+    pair and U/D the dimension-2 pair, mirroring how E/W serve
+    dimension 0.  Chips built without the extra ports never see these
+    codes in their tables.
+    """
 
     N = 0
     E = 1
     W = 2
     S = 3
+    T = 4
+    U = 5
+    D = 6
 
 
 @dataclass(frozen=True)
@@ -83,8 +96,14 @@ class RouteEntry:
 class RegisterFile:
     """BAR0 register page with typed accessors and write hooks."""
 
-    def __init__(self, name: str = "peach2.regs"):
+    def __init__(self, name: str = "peach2.regs",
+                 num_route_entries: int = NUM_ROUTE_ENTRIES):
+        if not 1 <= num_route_entries <= MAX_ROUTE_ENTRIES:
+            raise ConfigError(
+                f"{name}: route table depth {num_route_entries} outside "
+                f"1..{MAX_ROUTE_ENTRIES}")
         self.name = name
+        self.num_route_entries = num_route_entries
         self.raw = np.zeros(BAR0_SIZE, dtype=np.uint8)
         # Chip installs hooks keyed by offset (e.g. DMA doorbells).
         self.write_hooks: Dict[int, Callable[[int], None]] = {}
@@ -154,7 +173,7 @@ class RegisterFile:
 
     def set_route(self, index: int, entry: Optional[RouteEntry]) -> None:
         """Program (or invalidate, with None) route entry ``index``."""
-        if not 0 <= index < NUM_ROUTE_ENTRIES:
+        if not 0 <= index < self.num_route_entries:
             raise ConfigError(f"route entry {index} out of range")
         base = ROUTE_TABLE_BASE + index * ROUTE_ENTRY_BYTES
         if entry is None:
@@ -167,7 +186,7 @@ class RegisterFile:
     def routes(self) -> List[RouteEntry]:
         """All valid route entries, in table order."""
         out: List[RouteEntry] = []
-        for index in range(NUM_ROUTE_ENTRIES):
+        for index in range(self.num_route_entries):
             base = ROUTE_TABLE_BASE + index * ROUTE_ENTRY_BYTES
             mask, lower, upper, port, valid = struct.unpack(
                 "<QQQBB6x", self.read(base, ROUTE_ENTRY_BYTES).tobytes())

@@ -15,7 +15,8 @@ Builds an 8-16-node (or smaller, for tests) TCA sub-cluster:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cuda.runtime import CudaContext, CudaParams
 from repro.drivers.p2p_driver import P2PDriver
@@ -25,15 +26,29 @@ from repro.hw.node import ComputeNode, NodeParams
 from repro.peach2.board import PEACH2Board
 from repro.peach2.chip import PEACH2Params
 from repro.peach2.registers import (BLOCK_GPU0, BLOCK_GPU1, BLOCK_HOST,
-                                    BLOCK_INTERNAL, NUM_ROUTE_ENTRIES,
+                                    BLOCK_INTERNAL, MAX_ROUTE_ENTRIES,
                                     PortCode)
 from repro.pcie.port import PortRole
 from repro.sim.core import Engine
 from repro.tca.address_map import TCAAddressMap
+from repro.tca.fabric import (FabricCut, TorusGeometry, fabric_route_entries)
 from repro.tca.topology import dual_ring_route_entries, ring_route_entries
 
 RING = "ring"
 DUAL_RING = "dual-ring"
+TORUS = "torus"
+
+#: Largest fabric one 512-GB window supports with power-of-two node
+#: regions the comparators can mask (8-GiB slots at 64 nodes).
+MAX_TORUS_NODES = 64
+
+
+def _node_slots(num_nodes: int) -> int:
+    """Window slot count: the Fig. 4 default of 16, doubled as needed."""
+    slots = 16
+    while slots < num_nodes:
+        slots *= 2
+    return slots
 
 
 class TCASubCluster:
@@ -43,17 +58,51 @@ class TCASubCluster:
                  engine: Optional[Engine] = None,
                  node_params: NodeParams = NodeParams(),
                  peach2_params: PEACH2Params = PEACH2Params(),
-                 cuda_params: CudaParams = CudaParams()):
+                 cuda_params: CudaParams = CudaParams(),
+                 extents: Optional[Sequence[int]] = None):
         if num_nodes < 2:
             raise ConfigError("a sub-cluster needs at least two nodes")
-        if topology not in (RING, DUAL_RING):
+        if topology not in (RING, DUAL_RING, TORUS):
             raise ConfigError(f"unknown topology {topology!r}")
         if topology == DUAL_RING and num_nodes % 2:
             raise ConfigError("a dual ring needs an even node count")
-        if num_nodes > 16:
+        self.geometry: Optional[TorusGeometry] = None
+        if topology == TORUS:
+            if extents is None:
+                raise ConfigError(
+                    "a torus needs explicit extents, e.g. extents=(4, 4)")
+            self.geometry = TorusGeometry(tuple(extents))
+            if any(extent < 2 for extent in self.geometry.extents):
+                raise ConfigError(
+                    "every cabled torus dimension needs extent >= 2 "
+                    f"(got {self.geometry.extents})")
+            if self.geometry.num_nodes != num_nodes:
+                raise ConfigError(
+                    f"extents {self.geometry.extents} hold "
+                    f"{self.geometry.num_nodes} nodes, not {num_nodes}")
+            if num_nodes > MAX_TORUS_NODES:
+                raise ConfigError(
+                    f"torus fabrics top out at {MAX_TORUS_NODES} nodes "
+                    "(8-GiB node regions in the 512-GB window)")
+            # Torus chips need the per-dimension ports (>= 2D) and the
+            # deepened comparator table (3D: up to 1 + 3*3 entries).
+            if self.geometry.ndims >= 2 and not peach2_params.torus_ports:
+                peach2_params = replace(peach2_params, torus_ports=True)
+            if (self.geometry.ndims == 3
+                    and peach2_params.num_route_entries < MAX_ROUTE_ENTRIES):
+                peach2_params = replace(peach2_params,
+                                        num_route_entries=MAX_ROUTE_ENTRIES)
+        elif extents is not None:
+            raise ConfigError("extents only apply to the torus topology")
+        if topology == DUAL_RING and num_nodes > 16:
             raise ConfigError(
-                "the 512-GB window splits into at most 16 node regions; "
-                "the paper sizes sub-clusters at 8-16 nodes (§II-B)")
+                "the paper's coupled rings top out at 16 nodes (§II-B); "
+                "larger fabrics need the torus topology")
+        if topology == RING and num_nodes > MAX_TORUS_NODES:
+            raise ConfigError(
+                f"ring sub-clusters top out at {MAX_TORUS_NODES} nodes "
+                "(8-GiB node regions in the 512-GB window); the paper "
+                "sizes them at 8-16 (§II-B)")
 
         self.engine = engine or Engine()
         self.topology = topology
@@ -76,7 +125,14 @@ class TCASubCluster:
         if len(bases) != 1:
             raise ConfigError("BIOS gave nodes different TCA windows; the "
                               "shared map needs identical enumeration")
-        self.address_map = TCAAddressMap(bases.pop())
+        window = self.boards[0].chip.bar4.size
+        # Fig. 4's default 16 x 32-GiB split, halved (power-of-two node
+        # regions, so comparators still match upper bits only) until the
+        # fabric fits; sub-16-node clusters keep the paper's geometry.
+        stride = window // _node_slots(num_nodes)
+        self.address_map = TCAAddressMap(bases.pop(), window_bytes=window,
+                                         node_stride=stride,
+                                         block_size=stride // 4)
 
         self._cable(topology)
         self._program_registers(topology)
@@ -99,12 +155,28 @@ class TCASubCluster:
     def _cable(self, topology: str) -> None:
         n = len(self.boards)
         self._ring_cables = []  # (east_node, west_node, link)
+        self._fabric_cables = []  # (dim, plus_node, minus_node, link)
         if topology == RING:
             self._rings = [list(range(n))]
             for i in range(n):
                 j = (i + 1) % n
                 link = self.boards[i].cable_east_to(self.boards[j])
                 self._ring_cables.append((i, j, link))
+                self._fabric_cables.append((0, i, j, link))
+            return
+        if topology == TORUS:
+            # Dimension-0 rings are the fabric's E/W rings; higher
+            # dimensions cable S->T and U->D the same plus->minus way.
+            self._rings = [list(ring) for ring in self.geometry.rings(0)]
+            for dim in range(self.geometry.ndims):
+                for ring in self.geometry.rings(dim):
+                    size = len(ring)
+                    for pos in range(size):
+                        i, j = ring[pos], ring[(pos + 1) % size]
+                        link = self.boards[i].cable_dim_to(
+                            dim, self.boards[j])
+                        self._ring_cables.append((i, j, link))
+                        self._fabric_cables.append((dim, i, j, link))
             return
         half = n // 2
         self._rings = [list(range(half)), list(range(half, n))]
@@ -136,17 +208,24 @@ class TCASubCluster:
             if topology == RING:
                 entries = ring_route_entries(self.address_map, node_id,
                                              self._rings[0])
+            elif topology == TORUS:
+                entries = fabric_route_entries(
+                    self.address_map, node_id, self.geometry,
+                    list(range(self.num_nodes)))
             else:
                 entries = dual_ring_route_entries(self.address_map, node_id,
                                                   self._rings[0],
                                                   self._rings[1])
-            if len(entries) > NUM_ROUTE_ENTRIES:
-                raise ConfigError(
-                    f"node {node_id} needs {len(entries)} comparators but "
-                    f"the chip has {NUM_ROUTE_ENTRIES}")
-            for index in range(NUM_ROUTE_ENTRIES):
-                regs.set_route(index,
-                               entries[index] if index < len(entries) else None)
+            self._write_routes(regs, node_id, entries)
+
+    def _write_routes(self, regs, node_id: int, entries) -> None:
+        if len(entries) > regs.num_route_entries:
+            raise ConfigError(
+                f"node {node_id} needs {len(entries)} comparators but "
+                f"the chip has {regs.num_route_entries}")
+        for index in range(regs.num_route_entries):
+            regs.set_route(index,
+                           entries[index] if index < len(entries) else None)
 
     # -- accessors -----------------------------------------------------------------
 
@@ -168,8 +247,15 @@ class TCASubCluster:
         return self.drivers[node_id]
 
     def rings(self) -> List[List[int]]:
-        """Node ids of each ring, in cable order."""
+        """Node ids of each ring, in cable order.
+
+        For a torus these are the dimension-0 (E/W) rings.
+        """
         return [list(ring) for ring in self._rings]
+
+    def fabric_cables(self) -> List[Tuple[int, int, int]]:
+        """(dim, plus_node, minus_node) of every fabric cable."""
+        return [(dim, a, b) for dim, a, b, _ in self._fabric_cables]
 
     # -- PEARL reliability: survive a ring-cable failure ----------------------
 
@@ -212,8 +298,11 @@ class TCASubCluster:
         """
         from repro.tca.topology import chain_route_entries
 
+        if self.topology == TORUS:
+            return self._heal_torus()
         if self.topology != RING:
-            raise ConfigError("healing is implemented for single rings")
+            raise ConfigError(
+                "healing is implemented for single rings and torus fabrics")
         for board in self.boards:
             board.chip.firmware.scan_links()
         down = [(a, b) for a, b, link in self._ring_cables if not link.up]
@@ -230,11 +319,8 @@ class TCASubCluster:
         chain = [(west_node + k) % n for k in range(n)]
         for node_id in chain:
             entries = chain_route_entries(self.address_map, node_id, chain)
-            regs = self.boards[node_id].chip.regs
-            from repro.peach2.registers import NUM_ROUTE_ENTRIES
-            for index in range(NUM_ROUTE_ENTRIES):
-                regs.set_route(index, entries[index]
-                               if index < len(entries) else None)
+            self._write_routes(self.boards[node_id].chip.regs, node_id,
+                               entries)
         self.heals_completed += 1
         self.last_heal_chain = chain
         if dead_link.down_since_ps is not None:
@@ -250,6 +336,67 @@ class TCASubCluster:
                 metrics.histogram("tca.time_to_heal_ns").observe(
                     self.last_time_to_heal_ps / 1000.0)
         return chain
+
+    def cut_fabric_cable(self, dim: int, plus_node: int,
+                         force: bool = False) -> None:
+        """Unplug the plus-direction cable of one torus dimension.
+
+        Mirrors :meth:`cut_ring_cable` (which is the ``dim == 0`` case):
+        a second cut on the *same ring* would partition that ring, so it
+        is rejected unless ``force=True``.  Cuts on different rings can
+        each be healed independently.
+        """
+        for cable_dim, a, b, link in self._fabric_cables:
+            if cable_dim != dim or a != plus_node:
+                continue
+            if not link.up:
+                raise ConfigError(
+                    f"the dimension-{dim} cable off node {plus_node} is "
+                    "already down")
+            link.take_down()
+            return
+        raise ConfigError(
+            f"no dimension-{dim} cable leaves node {plus_node}'s plus port")
+
+    def _heal_torus(self) -> List[FabricCut]:
+        """Reroute around every down fabric cable (generalized PEARL).
+
+        Each ring containing a broken cable degrades to a chain in its
+        dimension; the builder raises if two cuts land on one ring (that
+        ring would partition).  Returns the applied cuts.
+        """
+        for board in self.boards:
+            board.chip.firmware.scan_links()
+        down = [(dim, a, b, link)
+                for dim, a, b, link in self._fabric_cables if not link.up]
+        if not down:
+            raise ConfigError("no failed cable found")
+        cuts = tuple(FabricCut(dim=dim, plus_of=a)
+                     for dim, a, b, link in down)
+        nodes = list(range(self.num_nodes))
+        for node_id in nodes:
+            entries = fabric_route_entries(self.address_map, node_id,
+                                           self.geometry, nodes, cuts=cuts)
+            self._write_routes(self.boards[node_id].chip.regs, node_id,
+                               entries)
+        self.heals_completed += 1
+        self.last_heal_chain = None
+        dead_link = down[0][3]
+        if dead_link.down_since_ps is not None:
+            self.last_time_to_heal_ps = (self.engine.now_ps
+                                         - dead_link.down_since_ps)
+        if self.engine.tracer is not None:
+            self.engine.trace(
+                "tca", "heal",
+                link=",".join(link.name for _, _, _, link in down),
+                cuts=",".join(f"d{cut.dim}+{cut.plus_of}" for cut in cuts))
+        if self.engine.metrics is not None:
+            metrics = self.engine.metrics
+            metrics.counter("tca.reroutes").inc()
+            if self.last_time_to_heal_ps is not None:
+                metrics.histogram("tca.time_to_heal_ns").observe(
+                    self.last_time_to_heal_ps / 1000.0)
+        return list(cuts)
 
     # -- firmware-driven auto-heal --------------------------------------------
 

@@ -8,15 +8,22 @@ the ring; ties (the antipodal node of an even ring) break toward E.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.peach2.registers import PortCode, RouteEntry
 from repro.tca.address_map import TCAAddressMap
+from repro.tca.fabric import (FabricCut, TorusGeometry, _runs as _fabric_runs,
+                              entries_for, fabric_route_entries)
 
 
 def ring_hop_count(num_nodes: int, src_pos: int, dst_pos: int) -> int:
-    """Shortest-path hop count between two ring positions."""
+    """Shortest-path hop count between two ring positions.
+
+    At the antipodal position of an even ring both directions take
+    exactly ``num_nodes // 2`` hops; the count is direction-independent,
+    but see :func:`ring_direction` for which way that traffic goes.
+    """
     east = (dst_pos - src_pos) % num_nodes
     west = (src_pos - dst_pos) % num_nodes
     return min(east, west)
@@ -25,15 +32,20 @@ def ring_hop_count(num_nodes: int, src_pos: int, dst_pos: int) -> int:
 def ring_direction(num_nodes: int, src_pos: int, dst_pos: int) -> PortCode:
     """Shortest ring direction from one position to another.
 
-    Ties (the antipodal node of an even ring) break toward E, matching
-    the comparator tables :func:`ring_route_entries` programs — so a put
-    and its trailing flag store always take the same cables, which is
-    what makes flag-store completion sound (§III-H posted-write
-    ordering holds per path, not globally).
+    Ties (the antipodal node of an even ring, where east == west ==
+    N/2) break toward E *by explicit choice*, not by comparison-order
+    accident: the comparator tables :func:`ring_route_entries` programs
+    make the same choice, so a put and its trailing flag store always
+    take the same cables, which is what makes flag-store completion
+    sound (§III-H posted-write ordering holds per path, not globally).
+    The same plus-direction-wins rule applies per dimension in
+    :func:`repro.tca.fabric.ring_arc`.
     """
     east = (dst_pos - src_pos) % num_nodes
     west = (src_pos - dst_pos) % num_nodes
-    return PortCode.E if east <= west else PortCode.W
+    if east == west:
+        return PortCode.E       # documented N/2-hop tie-break: E wins
+    return PortCode.E if east < west else PortCode.W
 
 
 def ring_neighbor(ring_ids: Sequence[int], node_id: int,
@@ -57,28 +69,14 @@ def ring_neighbor(ring_ids: Sequence[int], node_id: int,
 _direction = ring_direction
 
 
+#: Shared with the fabric builder; kept under the old names for callers
+#: that imported them from here.
+_entries_for = entries_for
+
+
 def _runs(sorted_ids: Sequence[int]) -> List[Tuple[int, int]]:
     """Collapse sorted node ids into inclusive (first, last) runs."""
-    runs: List[Tuple[int, int]] = []
-    for node_id in sorted_ids:
-        if runs and node_id == runs[-1][1] + 1:
-            runs[-1] = (runs[-1][0], node_id)
-        else:
-            runs.append((node_id, node_id))
-    return runs
-
-
-def _entries_for(address_map: TCAAddressMap, ids: Sequence[int],
-                 port: PortCode) -> List[RouteEntry]:
-    mask = address_map.node_mask()
-    entries = []
-    for first, last in _runs(sorted(ids)):
-        entries.append(RouteEntry(
-            mask=mask,
-            lower=address_map.node_region(first).base,
-            upper=address_map.node_region(last).base,
-            port=port))
-    return entries
+    return _fabric_runs(sorted_ids)
 
 
 def ring_route_entries(address_map: TCAAddressMap, node_id: int,
@@ -88,23 +86,16 @@ def ring_route_entries(address_map: TCAAddressMap, node_id: int,
     ``ring_ids`` lists node ids in ring order: position p's East cable
     reaches position p+1.  Entries are checked in order, so the node's own
     region (-> port N) comes first, exactly like Fig. 5's per-node tables.
+
+    A ring is the 1D torus:  this delegates to
+    :func:`repro.tca.fabric.fabric_route_entries`.
     """
     if node_id not in ring_ids:
         raise ConfigError(f"node {node_id} is not on this ring")
     if len(set(ring_ids)) != len(ring_ids):
         raise ConfigError("duplicate node ids on the ring")
-    position = list(ring_ids).index(node_id)
-    num = len(ring_ids)
-    by_port: Dict[PortCode, List[int]] = {PortCode.E: [], PortCode.W: []}
-    for other_pos, other_id in enumerate(ring_ids):
-        if other_id == node_id:
-            continue
-        by_port[_direction(num, position, other_pos)].append(other_id)
-
-    entries = _entries_for(address_map, [node_id], PortCode.N)
-    for port in (PortCode.E, PortCode.W):
-        entries.extend(_entries_for(address_map, by_port[port], port))
-    return entries
+    geometry = TorusGeometry((len(ring_ids),))
+    return fabric_route_entries(address_map, node_id, geometry, ring_ids)
 
 
 def chain_route_entries(address_map: TCAAddressMap, node_id: int,
@@ -115,18 +106,19 @@ def chain_route_entries(address_map: TCAAddressMap, node_id: int,
     management plane reprograms the comparators so all traffic takes the
     surviving direction.  ``chain_ids`` lists the nodes from the West end
     to the East end of the surviving path.
+
+    A chain is the 1D torus with one :class:`FabricCut` — the cable out
+    of the East end's plus port — so this delegates to the fabric
+    builder's detour machinery.
     """
     if node_id not in chain_ids:
         raise ConfigError(f"node {node_id} is not on this chain")
     if len(set(chain_ids)) != len(chain_ids):
         raise ConfigError("duplicate node ids on the chain")
-    position = list(chain_ids).index(node_id)
-    east_ids = [other for p, other in enumerate(chain_ids) if p > position]
-    west_ids = [other for p, other in enumerate(chain_ids) if p < position]
-    entries = _entries_for(address_map, [node_id], PortCode.N)
-    entries.extend(_entries_for(address_map, east_ids, PortCode.E))
-    entries.extend(_entries_for(address_map, west_ids, PortCode.W))
-    return entries
+    geometry = TorusGeometry((len(chain_ids),))
+    cut = FabricCut(dim=0, plus_of=chain_ids[-1])
+    return fabric_route_entries(address_map, node_id, geometry, chain_ids,
+                                cuts=(cut,))
 
 
 def dual_ring_route_entries(address_map: TCAAddressMap, node_id: int,
@@ -138,15 +130,26 @@ def dual_ring_route_entries(address_map: TCAAddressMap, node_id: int,
     other ring.  Traffic for the other ring crosses at the source column
     (one S hop), then rides that ring — simple, deadlock-free, and at most
     one hop longer than optimal.
+
+    The comparators match whole address ranges, so the two rings must be
+    disjoint node-id sets: a node on both rings would get overlapping
+    ranges steered out of two ports at once.  Invalid sets raise
+    :class:`ConfigError` instead of silently programming such tables.
     """
+    if len(ring_a) != len(ring_b):
+        raise ConfigError("coupled rings must have equal length")
+    if len(set(ring_a)) != len(ring_a) or len(set(ring_b)) != len(ring_b):
+        raise ConfigError("duplicate node ids on a coupled ring")
+    overlap = set(ring_a) & set(ring_b)
+    if overlap:
+        raise ConfigError(f"coupled rings share node ids {sorted(overlap)}: "
+                          f"their address ranges would overlap")
     if node_id in ring_a:
         mine, other = ring_a, ring_b
     elif node_id in ring_b:
         mine, other = ring_b, ring_a
     else:
         raise ConfigError(f"node {node_id} is on neither ring")
-    if len(ring_a) != len(ring_b):
-        raise ConfigError("coupled rings must have equal length")
     entries = ring_route_entries(address_map, node_id, mine)
-    entries.extend(_entries_for(address_map, list(other), PortCode.S))
+    entries.extend(entries_for(address_map, list(other), PortCode.S))
     return entries

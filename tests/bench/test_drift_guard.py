@@ -32,8 +32,8 @@ def test_every_registry_entry_is_documented():
                         f"{sorted(missing)}"
 
 
-def test_registry_covers_e1_to_e21():
-    assert list(EXPERIMENT_IDS) == [f"E{i}" for i in range(1, 22)]
+def test_registry_covers_e1_to_e23():
+    assert list(EXPERIMENT_IDS) == [f"E{i}" for i in range(1, 24)]
 
 
 def test_every_renderer_has_marker_block():

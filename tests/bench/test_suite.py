@@ -144,7 +144,7 @@ class TestCliSuite:
         assert code == 0
         doc = json.loads(report_path.read_text())
         assert doc["schema"] == SCHEMA
-        assert doc["summary"]["experiments"] == 21
+        assert doc["summary"]["experiments"] == 23
         payloads = json.loads(capsys.readouterr().out)
         assert set(payloads) == set(REGISTRY)
 

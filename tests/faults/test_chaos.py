@@ -80,3 +80,20 @@ def test_recovery_budget_is_enforced():
         run_chaos(FaultPlan.preset("none"), num_nodes=4,
                   pingpong_iterations=4, cut_at_ps=0,
                   round_timeout_ps=1_000_000, max_round_retries=1)
+
+
+def test_chaos_is_deterministic_on_a_torus():
+    """The acceptance scenario runs byte-identically on a 2x2 torus:
+    the cable cut lands on a dimension-0 cable and heals through the
+    fabric builder instead of the 1D chain path."""
+    from repro.tca.subcluster import TORUS
+
+    plan = FaultPlan.preset("flaky-links", seed=9)
+    kwargs = dict(num_nodes=4, topology=TORUS, extents=(2, 2),
+                  pingpong_iterations=4, dma_bytes=8192)
+    first = run_chaos(plan, **kwargs)
+    second = run_chaos(plan, **kwargs)
+    assert first == second
+    assert first.byte_exact
+    assert first.healed
+    assert first.heal_chain is None  # torus heals are cut lists

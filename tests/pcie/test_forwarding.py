@@ -144,3 +144,32 @@ class TestBubbleFlowControl:
                 cluster.driver(src).run_chain(0, chain), name=f"f{src}"))
         while not all(p.done for p in procs):
             assert engine.step(), "ring deadlocked"
+
+
+class TestEgressDropAccounting:
+    """Healing-time drops must land in the fabric-wide fault counters."""
+
+    def test_drop_counted_once_in_fault_accounting(self, engine):
+        from repro.faults import FaultInjector, FaultPlan
+
+        injector = FaultInjector(FaultPlan.preset("none")).arm(engine)
+        queue, src, dst = build(engine)
+        src.port.link.take_down()
+        queue.submit(tlp())
+        engine.run()
+        assert queue.tlps_dropped == 1
+        # The dead link never serialized the packet, so only the egress
+        # stage saw the loss; it must appear exactly once fabric-wide.
+        assert injector.counters.get("tlps_dropped_egress") == 1
+        assert dst.received == []
+
+    def test_fatal_without_fault_injection(self, engine):
+        import pytest
+
+        from repro.errors import LinkError
+
+        queue, src, dst = build(engine)
+        src.port.link.take_down()
+        queue.submit(tlp())
+        with pytest.raises(LinkError):
+            engine.run()

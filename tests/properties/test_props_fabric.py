@@ -1,0 +1,95 @@
+"""Property-based tests on the torus fabric route-table builder.
+
+Four properties over random shapes and node-id permutations:
+
+* every node's table sends every member's region somewhere (coverage);
+* comparator ranges never overlap — each member address matches exactly
+  one entry, so match order cannot change routing;
+* hop-by-hop walks across all programmed tables reach the destination
+  in exactly ``path_hops`` steps (dimension-order path length equals
+  the sum of per-dimension ring hops);
+* entry counts stay within the 1 + 3*D comparator budget.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.peach2.registers import PortCode
+from repro.tca.address_map import TCAAddressMap
+from repro.tca.fabric import (DIM_PORTS, MINUS, PLUS, TorusGeometry,
+                              fabric_route_entries)
+from repro.units import GiB
+
+AMAP = TCAAddressMap(512 * GiB)
+
+#: Shapes to 16 nodes: every dimensionality, square and skewed, odd and
+#: even extents (16 is the slot count of the default Fig. 4 map).
+SHAPES = [(2,), (3,), (5,), (8,), (16,), (2, 2), (4, 2), (3, 4), (4, 4),
+          (2, 2, 2), (4, 2, 2), (2, 2, 4)]
+
+PORT_STEP = {}
+for _dim, (_plus, _minus) in enumerate(DIM_PORTS):
+    PORT_STEP[_plus] = (_dim, PLUS)
+    PORT_STEP[_minus] = (_dim, MINUS)
+
+
+def matching_entries(entries, address):
+    return [entry for entry in entries if entry.matches(address)]
+
+
+@st.composite
+def fabrics(draw):
+    shape = draw(st.sampled_from(SHAPES))
+    geometry = TorusGeometry(shape)
+    nodes = draw(st.permutations(range(geometry.num_nodes)))
+    return geometry, list(nodes)
+
+
+@given(fabrics())
+def test_every_member_covered_by_exactly_one_entry(fabric):
+    """Coverage and no-overlap in one pass: first and last byte of every
+    member's region match exactly one comparator."""
+    geometry, nodes = fabric
+    for me in nodes:
+        entries = fabric_route_entries(AMAP, me, geometry, nodes)
+        for other in nodes:
+            region = AMAP.node_region(other)
+            for address in (region.base,
+                            region.base + AMAP.node_stride - 1):
+                hits = matching_entries(entries, address)
+                assert len(hits) == 1, (me, other, hits)
+                if other == me:
+                    assert hits[0].port is PortCode.N
+
+
+@given(fabrics(), st.data())
+def test_walk_reaches_destination_in_path_hops(fabric, data):
+    geometry, nodes = fabric
+    tables = {nid: fabric_route_entries(AMAP, nid, geometry, nodes)
+              for nid in nodes}
+    position = {nid: i for i, nid in enumerate(nodes)}
+    src = data.draw(st.sampled_from(nodes))
+    dst = data.draw(st.sampled_from(nodes))
+    address = AMAP.global_address(dst, 2, 0)
+    budget = sum(geometry.extents)
+    current, hops = src, 0
+    while current != dst:
+        port = matching_entries(tables[current], address)[0].port
+        dim, step = PORT_STEP[port]
+        current = nodes[geometry.neighbor(position[current], dim, step)]
+        hops += 1
+        assert hops <= budget, "routing loop"
+    assert hops == geometry.path_hops(position[src], position[dst])
+
+
+@given(st.sampled_from(SHAPES))
+def test_entry_count_within_comparator_budget(shape):
+    """The 1 + 3*D bound holds for ring-ordered ids (what TCASubCluster
+    programs): each direction's arc is at most three contiguous id runs.
+    Arbitrary id permutations may fragment further — same as the paper's
+    1D tables — which is why the subcluster numbers nodes in ring order.
+    """
+    geometry = TorusGeometry(shape)
+    nodes = list(range(geometry.num_nodes))
+    for me in nodes:
+        entries = fabric_route_entries(AMAP, me, geometry, nodes)
+        assert len(entries) <= 1 + 3 * geometry.ndims

@@ -13,9 +13,14 @@ def test_minimum_size():
         TCASubCluster(1)
 
 
-def test_maximum_sixteen_nodes():
+def test_ring_size_limit_is_64():
+    with pytest.raises(ConfigError, match="64"):
+        TCASubCluster(65)
+
+
+def test_dual_ring_size_limit_is_16():
     with pytest.raises(ConfigError, match="16"):
-        TCASubCluster(17)
+        TCASubCluster(18, topology=DUAL_RING)
 
 
 def test_unknown_topology():

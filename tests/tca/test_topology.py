@@ -5,8 +5,8 @@ import pytest
 from repro.errors import ConfigError
 from repro.peach2.registers import PortCode
 from repro.tca.address_map import TCAAddressMap
-from repro.tca.topology import (dual_ring_route_entries, ring_hop_count,
-                                ring_route_entries)
+from repro.tca.topology import (dual_ring_route_entries, ring_direction,
+                                ring_hop_count, ring_route_entries)
 from repro.units import GiB
 
 AMAP = TCAAddressMap(512 * GiB)
@@ -26,6 +26,32 @@ def test_hop_count():
     assert ring_hop_count(4, 0, 3) == 1
     assert ring_hop_count(4, 0, 2) == 2
     assert ring_hop_count(8, 1, 5) == 4
+
+
+def test_direction_exhaustive_all_rings_to_16():
+    """Every (N, src, dst): shortest path, and the N/2 tie breaks East.
+
+    Regression for the even-ring antipodal case: at exactly N/2 hops
+    both directions are equally short, and the documented choice is
+    East — matching the plus-direction tie-break of the fabric builder,
+    so ring tables and torus tables never disagree on a tie.
+    """
+    for n in range(2, 17):
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                east = (dst - src) % n
+                west = (src - dst) % n
+                direction = ring_direction(n, src, dst)
+                assert ring_hop_count(n, src, dst) == min(east, west)
+                if east < west:
+                    assert direction is PortCode.E, (n, src, dst)
+                elif west < east:
+                    assert direction is PortCode.W, (n, src, dst)
+                else:
+                    assert direction is PortCode.E, \
+                        f"antipodal tie must break East ({n}, {src}, {dst})"
 
 
 def test_fig5_four_node_ring():
@@ -112,3 +138,16 @@ class TestDualRing:
     def test_node_on_neither_ring(self):
         with pytest.raises(ConfigError):
             dual_ring_route_entries(AMAP, 9, [0, 1], [2, 3])
+
+    def test_overlapping_rings_rejected(self):
+        """Shared ids would give two rings overlapping address ranges."""
+        with pytest.raises(ConfigError, match="overlap"):
+            dual_ring_route_entries(AMAP, 0, [0, 1, 2, 3], [3, 4, 5, 6])
+
+    def test_duplicate_ids_within_a_ring_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            dual_ring_route_entries(AMAP, 0, [0, 1, 1, 2], [4, 5, 6, 7])
+
+    def test_duplicate_ids_in_second_ring_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            dual_ring_route_entries(AMAP, 0, [0, 1, 2, 3], [4, 5, 5, 6])
