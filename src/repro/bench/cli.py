@@ -252,7 +252,8 @@ def _perf_main(args) -> int:
         gate = hist.check_against_baseline(
             report.to_dict(), baseline,
             baseline_name=os.path.basename(args.baseline),
-            threshold=threshold, overhead_budget=budget)
+            threshold=threshold, overhead_budget=budget,
+            events_floor=args.events_floor)
         payload["gate"] = gate.to_dict()
         if not args.json:
             print(gate.render())
@@ -387,6 +388,12 @@ def main(argv=None) -> int:
                              "a preset (none, flaky-links, lost-irq, chaos),"
                              " optionally NAME:SEED, or a JSON plan file "
                              "(see docs/robustness.md)")
+    parser.add_argument("--engine-workers", type=int, default=None,
+                        metavar="N",
+                        help="run multi-engine sweeps (fig7, fig9) across "
+                             "N fork workers; output stays byte-identical "
+                             "to the inline run (default: "
+                             "TCA_ENGINE_WORKERS or inline)")
     parser.add_argument("--bench-json", metavar="PATH", default=None,
                         help="with the 'perf' experiment: write the "
                              "wall-clock benchmark document to PATH "
@@ -448,6 +455,12 @@ def main(argv=None) -> int:
                             metavar="FRAC",
                             help="allowed bare events/s regression "
                                  "(default 0.15)")
+    perf_group.add_argument("--events-floor", type=float, default=None,
+                            metavar="N",
+                            help="with --check: absolute floor on the "
+                                 "run's overall bare events/s (catches "
+                                 "slow erosion the relative gate "
+                                 "cannot)")
     perf_group.add_argument("--overhead-budget", type=float, default=None,
                             metavar="RATIO",
                             help="maximum instrumented/bare overhead "
@@ -477,6 +490,15 @@ def main(argv=None) -> int:
                               help="profile document from "
                                    "'perf --profile --json' (hotspots)")
     args = parser.parse_args(argv)
+
+    if args.engine_workers is not None:
+        from repro.sim.executor import set_default_workers
+
+        try:
+            set_default_workers(args.engine_workers)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.list or args.experiment is None:
         print("available experiments:")

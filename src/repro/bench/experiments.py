@@ -65,16 +65,54 @@ def theory() -> Dict[str, float]:
 
 # -- E4: Fig. 7 -------------------------------------------------------------------
 
+def _measure_point(task: Tuple[str, str, int, int]) -> float:
+    """One ``(op, target, size, count)`` bandwidth point on a fresh rig.
+
+    Module level (not a closure) so fork workers report it by name and a
+    spawn-based platform could still pickle it.  Every call builds its
+    own :class:`SingleNodeRig` — its own engine — so points are fully
+    independent: any execution order, thread or process yields the same
+    picosecond results.
+    """
+    op, target, size, count = task
+    rig = SingleNodeRig()
+    _, bw = rig.measure(op, target, size, count)
+    return bw
+
+
+def _point_cost(task: Tuple[str, str, int, int]) -> float:
+    """LPT weight for a measurement point: event count scales with the
+    bytes moved (chunks per request times chained requests)."""
+    _, _, size, count = task
+    return float(size) * count
+
+
+def _measure_points(tasks, workers):
+    """Run measurement points, optionally across fork workers.
+
+    ``workers=None`` defers to the executor's environment default
+    (``TCA_ENGINE_WORKERS``); an effective count of one runs the
+    historical inline loop.  Results arrive in task order either way,
+    so the sweep tables are byte-identical for every worker count.
+    """
+    from repro.sim.executor import MultiEngineExecutor
+
+    return MultiEngineExecutor(workers).map(_measure_point, tasks,
+                                            cost=_point_cost)
+
+
 def fig7(sizes: Sequence[int] = FIG7_SIZES,
-         count: int = PAPER_BURST) -> SweepTable:
+         count: int = PAPER_BURST,
+         workers: Optional[int] = None) -> SweepTable:
     """Data size vs bandwidth, PEACH2 <-> CPU/GPU, 255 chained DMAs."""
     table = SweepTable(f"Fig. 7: data size vs bandwidth ({count} chained DMAs)")
-    for op in ("write", "read"):
-        for target in ("cpu", "gpu"):
-            for size in sizes:
-                rig = SingleNodeRig()
-                _, bw = rig.measure(op, target, size, count)
-                table.add(f"{target.upper()} ({op})", size, bw)
+    tasks = [(op, target, size, count)
+             for op in ("write", "read")
+             for target in ("cpu", "gpu")
+             for size in sizes]
+    for (op, target, size, _), bw in zip(tasks,
+                                         _measure_points(tasks, workers)):
+        table.add(f"{target.upper()} ({op})", size, bw)
     return table
 
 
@@ -95,16 +133,18 @@ def fig8(sizes: Sequence[int] = FIG8_SIZES) -> SweepTable:
 # -- E6: Fig. 9 -----------------------------------------------------------------------
 
 def fig9(counts: Sequence[int] = FIG9_COUNTS,
-         size: int = 4 * KiB) -> SweepTable:
+         size: int = 4 * KiB,
+         workers: Optional[int] = None) -> SweepTable:
     """Number of DMA requests vs bandwidth at a fixed 4-KB data size."""
     table = SweepTable("Fig. 9: DMA request count vs bandwidth (4 Kbytes)",
                        x_label="requests", x_is_size=False)
-    for op in ("write", "read"):
-        for target in ("cpu", "gpu"):
-            for count in counts:
-                rig = SingleNodeRig()
-                _, bw = rig.measure(op, target, size, count)
-                table.add(f"{target.upper()} ({op})", count, bw)
+    tasks = [(op, target, size, count)
+             for op in ("write", "read")
+             for target in ("cpu", "gpu")
+             for count in counts]
+    for (op, target, _, count), bw in zip(tasks,
+                                          _measure_points(tasks, workers)):
+        table.add(f"{target.upper()} ({op})", count, bw)
     return table
 
 

@@ -204,7 +204,8 @@ class GateResult:
 def check_against_baseline(doc: Dict[str, Any], baseline: Dict[str, Any],
                            baseline_name: str = "baseline",
                            threshold: float = DEFAULT_THRESHOLD,
-                           overhead_budget: float = DEFAULT_OVERHEAD_BUDGET
+                           overhead_budget: float = DEFAULT_OVERHEAD_BUDGET,
+                           events_floor: Optional[float] = None
                            ) -> GateResult:
     """Gate one perf run against a committed baseline document.
 
@@ -212,9 +213,28 @@ def check_against_baseline(doc: Dict[str, Any], baseline: Dict[str, Any],
     subset run gates against the full baseline); an empty intersection
     is itself a failure, so a typo'd experiment list cannot silently
     pass.
+
+    ``events_floor`` adds an **absolute** bound on top of the relative
+    per-experiment checks: the run's overall bare throughput (total
+    bare events over total bare wall) must meet it.  The relative gate
+    catches drift against the committed baseline; the floor catches the
+    slow boil — a sequence of individually-passing regressions eroding
+    the engine across many PRs.
     """
     result = GateResult(baseline=baseline_name, threshold=threshold,
                         overhead_budget=overhead_budget)
+    if events_floor is not None:
+        bare = [s for s in doc.get("results", [])
+                if s.get("mode") == "bare"]
+        wall = sum(float(s.get("wall_s", 0.0)) for s in bare)
+        events = sum(int(s.get("events", 0)) for s in bare)
+        measured = events / wall if wall > 0 else 0.0
+        result.checks.append(GateCheck(
+            experiment="(overall)", metric="events_floor",
+            ok=measured >= events_floor, measured=measured,
+            limit=events_floor,
+            detail=(f"overall bare {measured:,.0f} events/s >= "
+                    f"absolute floor {events_floor:,.0f}")))
     current = experiment_stats(doc)
     base = experiment_stats(baseline)
     shared = [name for name in current if name in base]

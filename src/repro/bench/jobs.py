@@ -135,6 +135,35 @@ def default_deadline_s(cost_s: float) -> float:
     return max(DEADLINE_FLOOR_S, cost_s * DEADLINE_FACTOR)
 
 
+def lpt_shards(costs: Sequence[float], shards: int,
+               tiebreak: Optional[Sequence[Any]] = None) -> List[List[int]]:
+    """Deterministic longest-processing-time-first shard assignment.
+
+    Items (identified by index into ``costs``) are assigned to the
+    least-loaded shard in decreasing-cost order — the classic LPT
+    heuristic, within 4/3 of the optimal makespan.  ``tiebreak`` (any
+    per-item sortable key, defaulting to the index itself) makes the
+    assignment a pure function of its inputs, so replayed and resumed
+    runs shard identically.  Used both by the suite's entry partitioner
+    (:func:`repro.bench.suite.partition`) and the multi-engine executor
+    (:class:`repro.sim.executor.MultiEngineExecutor`).
+
+    Returns ``shards`` index buckets (clamped to ``len(costs)`` so no
+    bucket is empty unless there are no items at all).
+    """
+    count = len(costs)
+    shards = max(1, min(shards, count) if count else 1)
+    keys = tiebreak if tiebreak is not None else range(count)
+    order = sorted(range(count), key=lambda i: (-costs[i], keys[i]))
+    loads = [0.0] * shards
+    buckets: List[List[int]] = [[] for _ in range(shards)]
+    for i in order:
+        target = min(range(shards), key=lambda s: (loads[s], s))
+        buckets[target].append(i)
+        loads[target] += costs[i]
+    return buckets
+
+
 @dataclass
 class Job:
     """One suite entry moving through the supervised state machine."""

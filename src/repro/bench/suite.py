@@ -47,7 +47,7 @@ from repro.bench.cache import (ResultCache, cache_key, canonical_json,
 from repro.bench.experiments import EXPERIMENT_IDS, REGISTRY, ExperimentSpec
 from repro.bench.jobs import (DEFAULT_MAX_ATTEMPTS, DONE, FAILED, Job,
                               JobScheduler, Journal, default_deadline_s,
-                              new_run_id, run_job_inline)
+                              lpt_shards, new_run_id, run_job_inline)
 from repro.errors import ConfigError
 from repro.model.anchors import ANCHORS, AnchorCheck, calibration_fingerprint
 from repro.units import pretty_size
@@ -88,16 +88,15 @@ def run_entry(name: str, mode: str, seed: int) -> Tuple[str, float]:
 
 
 def partition(names: Sequence[str], shards: int) -> List[List[str]]:
-    """Deterministic longest-processing-time-first shard assignment."""
-    shards = max(1, min(shards, len(names)) if names else 1)
-    by_cost = sorted(names, key=lambda n: (-REGISTRY[n].cost_s, n))
-    loads = [0.0] * shards
-    buckets: List[List[str]] = [[] for _ in range(shards)]
-    for name in by_cost:
-        i = min(range(shards), key=lambda s: (loads[s], s))
-        buckets[i].append(name)
-        loads[i] += REGISTRY[name].cost_s
-    return buckets
+    """Deterministic longest-processing-time-first shard assignment.
+
+    Delegates to :func:`repro.bench.jobs.lpt_shards` with registry cost
+    hints and the entry name as the equal-cost tiebreak (the historical
+    ordering, kept so resumed journals shard the same way).
+    """
+    buckets = lpt_shards([REGISTRY[n].cost_s for n in names], shards,
+                         tiebreak=names)
+    return [[names[i] for i in bucket] for bucket in buckets]
 
 
 @dataclass

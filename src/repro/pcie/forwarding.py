@@ -69,7 +69,8 @@ class EgressQueue:
         a full queue delays it — that is the backpressure edge.
         """
         accepted = self.store.put((self.engine.now_ps, tlp))
-        self._sample_depth()
+        if self.engine.metrics is not None:
+            self._sample_depth()
         return accepted
 
     def submit_injection(self, tlp: TLP) -> Signal:
@@ -101,16 +102,22 @@ class EgressQueue:
             accepted.fire()
 
     def _emitter(self):
+        engine = self.engine
+        store_get = self.store.get
+        port_send = self.port.send
+        residual_latency_ps = self.residual_latency_ps
         while True:
-            enqueued_ps, tlp = yield self.store.get()
-            self._sample_depth()
-            self._admit_injections()
+            enqueued_ps, tlp = yield store_get()
+            if engine.metrics is not None:
+                self._sample_depth()
+            if self._injection_waiters:
+                self._admit_injections()
             # Let the pipeline latency elapse relative to ingress time.
-            target = enqueued_ps + self.residual_latency_ps
-            if target > self.engine.now_ps:
-                yield target - self.engine.now_ps
+            target = enqueued_ps + residual_latency_ps
+            if target > engine.now_ps:
+                yield target - engine.now_ps
             try:
-                accepted = self.port.send(tlp)
+                accepted = port_send(tlp)
             except LinkError:
                 # The output link is down.  Without fault injection that
                 # is a configuration bug and must stay fatal; under an

@@ -100,6 +100,11 @@ class _Direction:
         self.replays = 0
         #: Replays caused by receiver NAKs (bad LCRC).
         self.naks = 0
+        # Serialization times keyed on framed size: TLP trains are made of
+        # a handful of distinct wire footprints (MPS-sized payloads plus a
+        # header-only straggler), so the float division in transfer_ps
+        # collapses to a dict hit on every TLP after the first.
+        self._serialize_ps: dict = {}
         # Metric instrument handles, bound once per registry instead of
         # paying an f-string + registry lookup on every TLP (hot path).
         self._bound_metrics = None
@@ -142,22 +147,29 @@ class _Direction:
         engine = self.engine
         bytes_per_ps = self.params.bytes_per_ps
         latency_ps = self.params.latency_ps
+        link = self.link
+        tx_get = self.tx.get
+        acquire_credit = self.credits.acquire
+        serialize_cache = self._serialize_ps
         while True:
-            tlp = yield self.tx.get()
-            if not self.link.up:
+            tlp = yield tx_get()
+            if not link.up:
                 # The cable died while this packet sat in the tx queue.
                 self._drop(tlp, where="tx-queue")
                 continue
-            yield self.credits.acquire()
-            epoch = self.link.epoch
+            yield acquire_credit()
+            epoch = link.epoch
             wire_bytes = tlp.wire_bytes
+            serialize_ps = serialize_cache.get(wire_bytes)
+            if serialize_ps is None:
+                serialize_ps = transfer_ps(wire_bytes, bytes_per_ps)
+                serialize_cache[wire_bytes] = serialize_ps
             while True:
                 metrics = engine.metrics
                 if metrics is not None:
                     if metrics is not self._bound_metrics:
                         self._bind_metrics(metrics)
                     self._m_busy.set(1, engine.now_ps)
-                serialize_ps = transfer_ps(wire_bytes, bytes_per_ps)
                 yield serialize_ps
                 self.wire_bytes_carried += wire_bytes
                 self.wire_tlps_carried += 1

@@ -91,22 +91,25 @@ class Port:
     def _ingress_loop(self):
         """Drain the ingress queue into the owner's handler, in order."""
         engine = self.engine
+        ingress_get = self.ingress.get
+        handle_tlp = self.owner.handle_tlp
+        handle_name = f"{self.name}.handle"
         while True:
-            tlp = yield self.ingress.get()
+            tlp = yield ingress_get()
             self.tlps_received += 1
             tracer = engine.tracer
             if tracer is not None:
                 tracer.emit(engine.now_ps, self.name, "tlp-recv",
                             tlp=tlp.kind.value, addr=tlp.address,
                             bytes=tlp.wire_bytes)
-            if self.ingress_drained is not None:
-                self.ingress_drained()
-            result = self.owner.handle_tlp(self, tlp)
+            drained = self.ingress_drained
+            if drained is not None:
+                drained()
+            result = handle_tlp(self, tlp)
             if result is not None:
                 # Multi-step handling: run it to completion before the next
                 # packet, preserving PCIe's per-link ordering.
-                yield self.engine.process(
-                    result, name=f"{self.name}.handle")
+                yield engine.process(result, name=handle_name)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Port({self.name!r}, {self.role.value})"

@@ -52,14 +52,21 @@ class TLPKind(enum.Enum):
         return self in (TLPKind.MWR, TLPKind.MSI)
 
 
-@dataclass
+#: Kinds whose wire footprint includes the payload bytes.
+_CARRIES_PAYLOAD = frozenset((TLPKind.MWR, TLPKind.CPLD, TLPKind.MSI))
+#: Kinds that must carry a payload array of exactly ``length`` bytes.
+_REQUIRES_PAYLOAD = frozenset((TLPKind.MWR, TLPKind.CPLD))
+
+
+@dataclass(slots=True)
 class TLP:
     """One transaction layer packet travelling through the fabric.
 
     ``address`` is the destination bus address for MWR/MRD/MSI; completions
     are routed by ``requester_id`` instead, as on real PCIe.  ``length`` is
     the payload length in bytes for MWR/CPLD, or the *requested* read length
-    for MRD.
+    for MRD.  Slotted: tens of thousands of TLPs flow through one
+    experiment, so the per-instance dict is measurable churn.
     """
 
     kind: TLPKind
@@ -68,22 +75,33 @@ class TLP:
     payload: Optional[np.ndarray] = None
     requester_id: int = 0
     tag: int = 0
-    serial: int = field(default_factory=lambda: next(_serial))
+    serial: int = field(default_factory=_serial.__next__)
+    #: Framed wire footprint; computed once — every hop (port, link,
+    #: switch, tracer) reads it.
+    wire_bytes: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
-        if self.length < 0:
-            raise PCIeError(f"negative TLP length {self.length}")
-        if self.kind in (TLPKind.MWR, TLPKind.CPLD):
-            if self.payload is None:
-                raise PCIeError(f"{self.kind.value} requires a payload")
-            if len(self.payload) != self.length:
+        length = self.length
+        kind = self.kind
+        if length < 0:
+            raise PCIeError(f"negative TLP length {length}")
+        if kind in _REQUIRES_PAYLOAD:
+            payload = self.payload
+            if payload is None:
+                raise PCIeError(f"{kind.value} requires a payload")
+            if len(payload) != length:
                 raise PCIeError(
-                    f"{self.kind.value} payload is {len(self.payload)} B "
-                    f"but length says {self.length} B")
-        elif self.kind is TLPKind.MRD and self.payload is not None:
-            raise PCIeError("MRd must not carry a payload")
-        # Computed once: every hop (port, link, switch, tracer) reads it.
-        self.wire_bytes = tlp_wire_bytes(self.kind, self.length)
+                    f"{kind.value} payload is {len(payload)} B "
+                    f"but length says {length} B")
+            self.wire_bytes = TLP_OVERHEAD_BYTES + length
+        elif kind is TLPKind.MRD:
+            if self.payload is not None:
+                raise PCIeError("MRd must not carry a payload")
+            self.wire_bytes = TLP_OVERHEAD_BYTES
+        else:
+            self.wire_bytes = (TLP_OVERHEAD_BYTES + length
+                               if kind in _CARRIES_PAYLOAD
+                               else TLP_OVERHEAD_BYTES)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"TLP({self.kind.value} addr=0x{self.address:x} "
@@ -92,7 +110,7 @@ class TLP:
 
 def tlp_wire_bytes(kind: TLPKind, length: int) -> int:
     """Wire footprint of a packet: framing plus payload (if it carries one)."""
-    payload = length if kind in (TLPKind.MWR, TLPKind.CPLD, TLPKind.MSI) else 0
+    payload = length if kind in _CARRIES_PAYLOAD else 0
     return TLP_OVERHEAD_BYTES + payload
 
 

@@ -314,14 +314,27 @@ class DMAController:
         """Internal memory -> bus (local or remote): paced posted writes."""
         rate = self._link_rate()
         overhead = self.calib.dma_per_tlp_overhead_ps
-        src_off = self.chip.internal_offset(desc.src)
-        for addr, size in split_transfer(desc.dst, desc.length,
+        chip = self.chip
+        src_off = chip.internal_offset(desc.src)
+        internal_read = chip.internal.read
+        inject = chip.inject
+        device_id = chip.device_id
+        dst = desc.dst
+        # A chunked transfer has at most three distinct chunk sizes (full
+        # MPS payloads plus boundary stragglers), so the per-TLP pacing
+        # collapses to a dict hit after the first chunk of each size.
+        pace_cache: Dict[int, int] = {}
+        for addr, size in split_transfer(dst, desc.length,
                                          self.calib.mps_bytes):
-            data = self.chip.internal.read(src_off + (addr - desc.dst), size)
-            wire = tlp_wire_bytes(TLPKind.MWR, size)
-            yield transfer_ps(wire, rate) + overhead
-            accepted = self.chip.inject(make_write(
-                addr, data, requester_id=self.chip.device_id))
+            data = internal_read(src_off + (addr - dst), size)
+            pace = pace_cache.get(size)
+            if pace is None:
+                pace = transfer_ps(tlp_wire_bytes(TLPKind.MWR, size),
+                                   rate) + overhead
+                pace_cache[size] = pace
+            yield pace
+            accepted = inject(make_write(addr, data,
+                                         requester_id=device_id))
             if not accepted.fired:
                 yield accepted
 

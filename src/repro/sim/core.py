@@ -2,7 +2,7 @@
 
 Design notes
 ------------
-* The event heap orders by ``(time_ps, sequence)``; the monotonically
+* Event order is defined by ``(time_ps, sequence)``; the monotonically
   increasing sequence number makes simultaneous events fire in the order
   they were scheduled, which keeps runs deterministic.
 * Processes are plain generators.  They may yield:
@@ -14,19 +14,89 @@ Design notes
     waiter.
 
 * There is deliberately no wall-clock anywhere: simulated time only.
+
+Dispatch modes
+--------------
+The engine ships two schedulers that produce **bit-identical** event
+orders (see ``docs/performance.md`` for the invariants and the proof
+sketch; ``tests/sim/test_dispatch_equivalence.py`` checks every registry
+experiment byte-for-byte):
+
+* ``"reference"`` — a pure heap scheduler: every event, including
+  :meth:`Engine.call_soon`, is pushed onto the ``(time_ps, sequence)``
+  heap.  Slow, obviously correct, and the oracle the differential tests
+  compare against.
+* ``"fast"`` (the default) — the production path: a FIFO ready deque as
+  the *now bucket* for :meth:`Engine.call_soon` (the dominant scheduling
+  call — every signal fire lands there and never needs heap ordering), the
+  heap only for future timers, fused dispatch loops in
+  :meth:`Engine.run` / :meth:`Engine.run_process`, and a batch-advance
+  trampoline in :class:`Process` that keeps a resumed coroutine on the
+  stack whenever its wakeup is provably the next event.
+
+The default comes from the ``TCA_SIM_DISPATCH`` environment variable and
+can be changed per-call-tree with :func:`set_default_dispatch` /
+:func:`dispatch_mode`, or per engine with ``Engine(dispatch=...)``.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
-from typing import (Any, Callable, Deque, Generator, Iterable, List, Optional,
-                    Set, Tuple)
+from contextlib import contextmanager
+from typing import (Any, Callable, Deque, Generator, Iterable, Iterator, List,
+                    Optional, Set, Tuple)
 
 from repro.errors import SimulationError
 from repro.units import PS_PER_NS
 
 ProcessGen = Generator[Any, Any, Any]
+
+#: Recognised scheduler implementations (see module docstring).
+DISPATCH_MODES = ("fast", "reference")
+
+#: Sentinel horizon for unbounded runs: far beyond any simulated time the
+#: experiments reach, so the batch-advance clock check is a plain integer
+#: compare instead of a ``None`` test on the hot path.
+_NO_HORIZON = 1 << 200
+
+_default_dispatch = os.environ.get("TCA_SIM_DISPATCH", "fast")
+if _default_dispatch not in DISPATCH_MODES:
+    raise SimulationError(
+        f"TCA_SIM_DISPATCH={_default_dispatch!r} is not one of "
+        f"{DISPATCH_MODES}")
+
+
+def default_dispatch() -> str:
+    """The dispatch mode new :class:`Engine` instances get by default."""
+    return _default_dispatch
+
+
+def set_default_dispatch(mode: str) -> str:
+    """Set the process-wide default dispatch mode; returns the previous one."""
+    global _default_dispatch
+    if mode not in DISPATCH_MODES:
+        raise SimulationError(
+            f"unknown dispatch mode {mode!r}; expected one of "
+            f"{DISPATCH_MODES}")
+    previous = _default_dispatch
+    _default_dispatch = mode
+    return previous
+
+
+@contextmanager
+def dispatch_mode(mode: str) -> Iterator[None]:
+    """Context manager: every engine built inside uses ``mode``.
+
+    This is how the differential tests run a whole experiment — which
+    constructs its engines internally — under the reference scheduler.
+    """
+    previous = set_default_dispatch(mode)
+    try:
+        yield
+    finally:
+        set_default_dispatch(previous)
 
 
 class Delay:
@@ -71,6 +141,27 @@ class Signal:
         self._waiters: Optional[List[Callable[[Any], None]]] = None
         self._timer: Optional[int] = None
 
+    @classmethod
+    def fired_signal(cls, engine: "Engine", name: str = "",
+                     value: Any = None) -> "Signal":
+        """Build a signal that is already fired with ``value``.
+
+        Equivalent to ``Signal(engine, name)`` followed by ``fire(value)``
+        on a signal nobody has waited on yet — which is the common case in
+        the queue primitives (an accepted put, an immediate get, a granted
+        slot).  Constructing it fired skips a call layer per operation on
+        the hottest allocation path in the simulator.
+        """
+        signal = cls.__new__(cls)
+        signal.engine = engine
+        signal.fired = True
+        signal.cancelled = False
+        signal.value = value
+        signal.name = name
+        signal._waiters = None
+        signal._timer = None
+        return signal
+
     def fire(self, value: Any = None) -> None:
         """Fire the signal now; waiters resume at the current time."""
         if self.cancelled:
@@ -83,8 +174,19 @@ class Signal:
         waiters = self._waiters
         if waiters is not None:
             self._waiters = None
-            for callback in waiters:
-                self.engine.call_soon(callback, value)
+            engine = self.engine
+            if engine.fast_dispatch:
+                # Inlined call_soon: identical sequence allocation, one
+                # ready entry per waiter, minus a method call per fire.
+                append = engine._ready.append
+                sequence = engine._sequence
+                for callback in waiters:
+                    append((sequence, callback, (value,)))
+                    sequence += 1
+                engine._sequence = sequence
+            else:
+                for callback in waiters:
+                    engine.call_soon(callback, value)
 
     def fire_after(self, delay_ps: int, value: Any = None) -> None:
         """Schedule the signal to fire ``delay_ps`` from now."""
@@ -157,45 +259,107 @@ class Process:
             raise error
 
     def _step(self, send_value: Any, throw: Optional[BaseException] = None) -> None:
-        try:
-            if throw is not None:
-                yielded = self.generator.throw(throw)
-            else:
-                yielded = self.generator.send(send_value)
-        except StopIteration as stop:
-            self._finish(stop.value, None)
-            return
-        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
-            self._finish(None, exc)
-            return
-        self._wait_on(yielded)
+        """Resume the generator; batch-advance while it stays runnable.
 
-    def _wait_on(self, yielded: Any) -> None:
-        # Ordered by frequency on the hot path: bare-int delays and
-        # Signals dominate; explicit Delay objects and Processes are rare.
-        if isinstance(yielded, int):
-            self.engine.after(yielded, self._step, None)
-        elif isinstance(yielded, Signal):
-            yielded.add_callback(self._step)
-        elif isinstance(yielded, Delay):
-            self.engine.after(yielded.duration_ps, self._step, None)
-        elif isinstance(yielded, Process):
-            child = yielded
-
-            def resume(result: Any, _child: Process = child) -> None:
-                if _child.error is not None:
-                    self._step(None, throw=_child.error)
+        The loop is the fast path's **batch-advance trampoline**.  When
+        the generator yields a delay (or an already-fired signal) and its
+        wakeup is *provably* the next event — ready deque empty, heap head
+        strictly later, horizon not crossed — the scheduler round-trip is
+        skipped and the generator resumed right here, after performing
+        exactly the bookkeeping dispatch would have: one sequence number
+        consumed, the clock advanced to the wakeup time, one event
+        counted.  Because every observable the scheduler maintains
+        (``(time, sequence)`` order, ``events_processed``, ``now_ps`` at
+        each resume) is preserved, a batched run is bit-identical to the
+        reference scheduler by construction.  Batching is disabled when a
+        profiler wants per-event records or a ``max_events`` bound is
+        counting steps (see :attr:`Engine._batch`).
+        """
+        engine = self.engine
+        generator = self.generator
+        send = generator.send
+        while True:
+            try:
+                if throw is not None:
+                    exc, throw = throw, None
+                    yielded = generator.throw(exc)
                 else:
-                    self._step(result)
-
-            child.add_callback(resume)
-        else:
+                    yielded = send(send_value)
+            except StopIteration as stop:
+                self._finish(stop.value, None)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+                self._finish(None, exc)
+                return
+            # Exact-class dispatch ordered by hot-path frequency (signals
+            # from queue operations and bare-int delays dominate); the
+            # isinstance chain below keeps the reference semantics for
+            # subclasses and bool.
+            cls = yielded.__class__
+            if cls is Signal:
+                if yielded.fired:
+                    if engine._batch and not engine._ready:
+                        heap = engine._heap
+                        if not heap or heap[0][0] > engine._now_ps:
+                            engine._sequence += 1
+                            engine.events_processed += 1
+                            send_value = yielded.value
+                            continue
+                    engine.call_soon(self._step, yielded.value)
+                    return
+                if yielded.cancelled:
+                    # Reference semantics: add_callback on a cancelled
+                    # signal drops the waiter (the process parks forever
+                    # unless something else resumes the simulation).
+                    return
+                waiters = yielded._waiters
+                if waiters is None:
+                    yielded._waiters = [self._step]
+                else:
+                    waiters.append(self._step)
+                return
+            if cls is int or cls is Delay:
+                delay_ps = yielded if cls is int else yielded.duration_ps
+                if delay_ps >= 0 and engine._batch and not engine._ready:
+                    time_ps = engine._now_ps + delay_ps
+                    heap = engine._heap
+                    if ((not heap or heap[0][0] > time_ps)
+                            and time_ps <= engine._horizon):
+                        engine._sequence += 1
+                        engine._now_ps = time_ps
+                        engine.events_processed += 1
+                        send_value = None
+                        continue
+                engine.after(delay_ps, self._step, None)
+                return
+            if cls is Process:
+                self._wait_child(yielded)
+                return
+            if isinstance(yielded, int):
+                engine.after(yielded, self._step, None)
+                return
+            if isinstance(yielded, Signal):
+                yielded.add_callback(self._step)
+                return
+            if isinstance(yielded, Delay):
+                engine.after(yielded.duration_ps, self._step, None)
+                return
+            if isinstance(yielded, Process):
+                self._wait_child(yielded)
+                return
             bad = type(yielded).__name__
-            self._step(
-                None,
-                throw=SimulationError(
-                    f"process {self.name!r} yielded unsupported {bad}"),
-            )
+            throw = SimulationError(
+                f"process {self.name!r} yielded unsupported {bad}")
+            send_value = None
+
+    def _wait_child(self, child: "Process") -> None:
+        def resume(result: Any, _child: "Process" = child) -> None:
+            if _child.error is not None:
+                self._step(None, throw=_child.error)
+            else:
+                self._step(result)
+
+        child.add_callback(resume)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.done else "running"
@@ -222,30 +386,54 @@ def unregister_engine_observer(callback: Callable[["Engine"], None]) -> None:
 
 
 class Engine:
-    """The event loop: an integer-picosecond heap scheduler.
+    """The event loop: an integer-picosecond scheduler.
 
-    Two internal queues carry events:
+    In the default ``"fast"`` mode two internal queues carry events:
 
     * the **heap**, ordered by ``(time_ps, sequence)``, for anything
       scheduled at a future time;
-    * the **ready deque**, a FIFO fast path for :meth:`call_soon` — the
+    * the **ready deque**, a FIFO *now bucket* for :meth:`call_soon` — the
       dominant scheduling call (every signal fire goes through it), which
       never needs heap ordering because it always targets *now*.
 
     The global sequence number spans both queues, and :meth:`step` always
     picks the lowest ``(time, sequence)`` across them, so the event order
-    is bit-identical to a pure-heap scheduler — just cheaper.
+    is bit-identical to a pure-heap scheduler — just cheaper.  In
+    ``"reference"`` mode :meth:`call_soon` pushes onto the heap instead and
+    the ready deque stays empty: that *is* the pure-heap scheduler, kept
+    as the oracle for the differential tests.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, dispatch: Optional[str] = None) -> None:
+        if dispatch is None:
+            dispatch = _default_dispatch
+        elif dispatch not in DISPATCH_MODES:
+            raise SimulationError(
+                f"unknown dispatch mode {dispatch!r}; expected one of "
+                f"{DISPATCH_MODES}")
+        #: Which scheduler this engine runs ("fast" or "reference").
+        self.dispatch = dispatch
+        self.fast_dispatch = dispatch == "fast"
         self._now_ps = 0
         self._sequence = 0
         self._heap: List[Tuple[int, int, Callable[..., None], tuple]] = []
         #: call_soon fast path: (sequence, callback, args), all at now.
         self._ready: Deque[Tuple[int, Callable[..., None], tuple]] = deque()
-        #: Sequence numbers of cancelled events, discarded lazily at pop.
+        #: Sequence numbers of cancelled events, discarded lazily at pop
+        #: and cleared wholesale whenever the queues drain (every token
+        #: left at that point is stale — see :meth:`cancel_event`).
         self._cancelled: Set[int] = set()
         self.events_processed = 0
+        #: Batch-advance gate for the :class:`Process` trampoline: true
+        #: only when this is a fast-dispatch engine, no profiler wants
+        #: per-event records, and no ``max_events`` bound is counting
+        #: individual steps.  Kept as one precomputed flag so the
+        #: trampoline check is a single attribute load.
+        self._batch = self.fast_dispatch
+        self._batch_inhibit = False
+        #: Clock bound for batch-advance; ``run(until_ps=...)`` lowers it
+        #: so a batched delay never carries the clock past the bound.
+        self._horizon = _NO_HORIZON
         #: Optional observability hook (repro.sim.trace.Tracer); hardware
         #: models emit routing/DMA/IRQ events through it when set.
         self.tracer = None
@@ -258,12 +446,13 @@ class Engine:
         #: (the default) every fault path is skipped entirely, so an
         #: un-faulted run is picosecond-identical to an unhooked one.
         self.faults = None
-        #: Optional dispatch profiler (repro.obs.profile.EngineProfiler).
-        #: When set, :meth:`step` routes through the timed dispatch body;
-        #: when ``None`` the whole cost is one attribute check, and the
-        #: event order is identical either way (profiling is wall-clock
+        #: Optional dispatch profiler (repro.obs.profile.EngineProfiler),
+        #: held behind a property: installing one routes :meth:`step`
+        #: through the timed dispatch body *and* turns batch-advance off
+        #: so every event gets its own attribution record.  The event
+        #: order is identical either way (profiling is wall-clock
         #: bookkeeping only — it never touches simulated time).
-        self.profiler = None
+        self._profiler = None
         for callback in list(_engine_observers):
             callback(self)
 
@@ -271,6 +460,22 @@ class Engine:
         """Emit a trace event if a tracer is installed (cheap when not)."""
         if self.tracer is not None:
             self.tracer.emit(self._now_ps, component, kind, **detail)
+
+    # -- dispatch-mode plumbing --------------------------------------------
+
+    @property
+    def profiler(self):
+        """The installed :class:`~repro.obs.profile.EngineProfiler` or None."""
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, value) -> None:
+        self._profiler = value
+        self._refresh_batch()
+
+    def _refresh_batch(self) -> None:
+        self._batch = (self.fast_dispatch and self._profiler is None
+                       and not self._batch_inhibit)
 
     # -- time --------------------------------------------------------------
 
@@ -318,7 +523,11 @@ class Engine:
         Returns an opaque token accepted by :meth:`cancel_event`.
         """
         token = self._sequence
-        self._ready.append((token, callback, args))
+        if self.fast_dispatch:
+            self._ready.append((token, callback, args))
+        else:
+            heapq.heappush(self._heap,
+                           (self._now_ps, token, callback, args))
         self._sequence += 1
         return token
 
@@ -328,8 +537,14 @@ class Engine:
         The event's queue entry is discarded lazily when it reaches the
         front, **without** advancing the clock or counting it in
         ``events_processed`` — a cancelled timer leaves no trace on a
-        drain-mode run.  Cancelling an event that already ran is harmless
-        (the stale token is ignored).
+        drain-mode run.
+
+        Cancelling an event that already ran — or one that was already
+        cancelled — is a documented no-op: sequence numbers are never
+        reused, so a stale token can never suppress a future event.  Stale
+        tokens are remembered only until the queues next drain, at which
+        point the cancellation set is cleared wholesale (every token left
+        in it is, by construction, stale).
         """
         self._cancelled.add(token)
 
@@ -350,9 +565,11 @@ class Engine:
 
         Picks the lowest ``(time, sequence)`` across the ready deque and
         the heap; cancelled entries are discarded without running, without
-        advancing the clock and without counting.
+        advancing the clock and without counting.  Note that one ``step``
+        may execute more than one *event* when batch-advance is active —
+        ``events_processed`` is the authoritative event count.
         """
-        if self.profiler is not None:
+        if self._profiler is not None:
             return self._step_profiled()
         ready = self._ready
         heap = self._heap
@@ -365,6 +582,8 @@ class Engine:
             elif heap:
                 time_ps, seq, callback, args = heapq.heappop(heap)
             else:
+                if cancelled:
+                    cancelled.clear()
                 return False
             if cancelled and seq in cancelled:
                 cancelled.discard(seq)
@@ -382,9 +601,10 @@ class Engine:
         ``profiler is not None`` check.  The whole step — queue pop plus
         callback — is attributed to the callback, so the only dispatch
         time a profiled run cannot attribute is the ``run()`` loop frame
-        itself.
+        itself.  Batch-advance is off whenever a profiler is installed
+        (see :attr:`profiler`), so every event gets its own record.
         """
-        profiler = self.profiler
+        profiler = self._profiler
         clock = profiler.clock
         ready = self._ready
         heap = self._heap
@@ -398,6 +618,8 @@ class Engine:
             elif heap:
                 time_ps, seq, callback, args = heapq.heappop(heap)
             else:
+                if cancelled:
+                    cancelled.clear()
                 return False
             if cancelled and seq in cancelled:
                 cancelled.discard(seq)
@@ -419,30 +641,77 @@ class Engine:
         report consistent windows.  Stopping on ``max_events`` leaves the
         clock at the last processed event.
         """
-        processed = 0
-        while True:
-            # Discard cancelled heads so the until_ps peek below (and the
-            # drained-queue exit) only ever see live events.
-            ready = self._ready
-            cancelled = self._cancelled
-            while ready and cancelled and ready[0][0] in cancelled:
-                cancelled.discard(ready.popleft()[0])
-            if not ready:
+        if until_ps is None and max_events is None:
+            # Unbounded drain — the hot case.  Fused dispatch loop: the
+            # step() body inlined with the queues bound to locals, one
+            # Python frame for the whole run instead of one per event.
+            if self._profiler is None:
+                ready = self._ready
                 heap = self._heap
-                while heap and cancelled and heap[0][1] in cancelled:
-                    cancelled.discard(heapq.heappop(heap)[1])
-                if not heap:
-                    break
-                if until_ps is not None and heap[0][0] > until_ps:
-                    break
-            if max_events is not None and processed >= max_events:
+                cancelled = self._cancelled
+                pop_ready = ready.popleft
+                heappop = heapq.heappop
+                while True:
+                    if ready and (not heap or heap[0][0] > self._now_ps
+                                  or heap[0][1] > ready[0][0]):
+                        seq, callback, args = pop_ready()
+                        time_ps = self._now_ps
+                    elif heap:
+                        time_ps, seq, callback, args = heappop(heap)
+                    else:
+                        break
+                    if cancelled and seq in cancelled:
+                        cancelled.discard(seq)
+                        continue
+                    self._now_ps = time_ps
+                    self.events_processed += 1
+                    callback(*args)
+                if cancelled:
+                    cancelled.clear()
                 return self._now_ps
-            if not self.step():
-                break
-            processed += 1
-        if until_ps is not None and self._now_ps < until_ps:
-            self._now_ps = until_ps
-        return self._now_ps
+            while self.step():
+                pass
+            return self._now_ps
+        # Bounded run.  An until_ps bound lowers the batch-advance horizon
+        # so a batched delay cannot carry the clock past it; a max_events
+        # bound counts individual steps, so batch-advance (which executes
+        # several events inside one step) is suspended for the duration.
+        if until_ps is not None:
+            self._horizon = until_ps
+        if max_events is not None:
+            self._batch_inhibit = True
+            self._refresh_batch()
+        try:
+            processed = 0
+            while True:
+                # Discard cancelled heads so the until_ps peek below (and
+                # the drained-queue exit) only ever see live events.
+                ready = self._ready
+                cancelled = self._cancelled
+                while ready and cancelled and ready[0][0] in cancelled:
+                    cancelled.discard(ready.popleft()[0])
+                if not ready:
+                    heap = self._heap
+                    while heap and cancelled and heap[0][1] in cancelled:
+                        cancelled.discard(heapq.heappop(heap)[1])
+                    if not heap:
+                        break
+                    if until_ps is not None and heap[0][0] > until_ps:
+                        break
+                if max_events is not None and processed >= max_events:
+                    return self._now_ps
+                if not self.step():
+                    break
+                processed += 1
+            if until_ps is not None and self._now_ps < until_ps:
+                self._now_ps = until_ps
+            return self._now_ps
+        finally:
+            if until_ps is not None:
+                self._horizon = _NO_HORIZON
+            if max_events is not None:
+                self._batch_inhibit = False
+                self._refresh_batch()
 
     def run_process(self, generator: ProcessGen, name: str = "") -> Any:
         """Start a process and run the engine until it completes.
@@ -450,11 +719,36 @@ class Engine:
         This is the main entry point for "measure one transfer" experiments.
         """
         proc = self.process(generator, name)
-        while not proc.done:
-            if not self.step():
-                raise SimulationError(
-                    f"deadlock: process {proc.name!r} is still waiting "
-                    "but no events remain")
+        if self._profiler is None:
+            # Fused dispatch loop; see run() for the rationale.
+            ready = self._ready
+            heap = self._heap
+            cancelled = self._cancelled
+            pop_ready = ready.popleft
+            heappop = heapq.heappop
+            while not proc.done:
+                if ready and (not heap or heap[0][0] > self._now_ps
+                              or heap[0][1] > ready[0][0]):
+                    seq, callback, args = pop_ready()
+                    time_ps = self._now_ps
+                elif heap:
+                    time_ps, seq, callback, args = heappop(heap)
+                else:
+                    raise SimulationError(
+                        f"deadlock: process {proc.name!r} is still waiting "
+                        "but no events remain")
+                if cancelled and seq in cancelled:
+                    cancelled.discard(seq)
+                    continue
+                self._now_ps = time_ps
+                self.events_processed += 1
+                callback(*args)
+        else:
+            while not proc.done:
+                if not self.step():
+                    raise SimulationError(
+                        f"deadlock: process {proc.name!r} is still waiting "
+                        "but no events remain")
         if proc.error is not None:
             raise proc.error
         return proc.result

@@ -1,0 +1,215 @@
+"""Multi-engine execution: run independent simulations across fork workers.
+
+The experiment sweeps are embarrassingly parallel at the *engine*
+granularity: fig7 builds 28 independent rigs (one per measurement
+point), fig9 builds 36, and every point constructs its own
+:class:`~repro.sim.core.Engine` from scratch.  The event loop itself is
+single-threaded by design — event order *is* the model — so the way to
+use more than one core is to run whole engines side by side, exactly
+like the suite's sharded ``tca-bench suite --shards N`` mode.
+
+:class:`MultiEngineExecutor` does that for in-process sweeps:
+
+* tasks are sharded with the suite's deterministic LPT heuristic
+  (:func:`repro.bench.jobs.lpt_shards`), weighted by a caller-supplied
+  cost hint so a few heavy points do not serialize the run;
+* one **fork** worker per shard runs its tasks in order on fresh
+  engines and ships the picklable results (plus an event/engine tally)
+  back over a private pipe — the same no-shared-channel rule the suite
+  supervisor follows, so one dying child cannot wedge the rest;
+* the parent reassembles results in *task order*, which keeps every
+  consumer byte-identical to the inline run: each task builds its own
+  engine, so nothing about *where* it ran can change its numbers.
+
+Workers resolve as: explicit argument, else the ``TCA_ENGINE_WORKERS``
+environment variable, else 1 (inline).  ``workers <= 1`` short-circuits
+to a plain loop with zero multiprocessing machinery, so the default
+path is exactly the historical one.
+
+Because forked children construct their engines out of the parent's
+sight, the wall-clock harness cannot count their events through
+:func:`~repro.sim.core.register_engine_observer`.  Children therefore
+report ``(events_processed, engines)`` alongside their results, the
+parent accrues the tallies here, and ``tca-bench perf`` drains them via
+:func:`consume_stats` — keeping its "bare events == instrumented
+events" invariant true under any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim.core import register_engine_observer, unregister_engine_observer
+
+#: Environment default for :class:`MultiEngineExecutor` worker count.
+WORKERS_ENV = "TCA_ENGINE_WORKERS"
+
+_stats_lock = threading.Lock()
+_pending_events = 0
+_pending_engines = 0
+
+
+def _credit_stats(events: int, engines: int) -> None:
+    global _pending_events, _pending_engines
+    with _stats_lock:
+        _pending_events += events
+        _pending_engines += engines
+
+
+def consume_stats() -> Tuple[int, int]:
+    """Drain the fork-worker ``(events, engines)`` tally accrued so far.
+
+    Destructive read: the caller (the perf harness) snapshots around a
+    timed region, so every child-side event is attributed exactly once.
+    """
+    global _pending_events, _pending_engines
+    with _stats_lock:
+        taken = (_pending_events, _pending_engines)
+        _pending_events = 0
+        _pending_engines = 0
+    return taken
+
+
+def default_workers() -> int:
+    """Worker count from ``TCA_ENGINE_WORKERS`` (1 = inline, the default)."""
+    raw = os.environ.get(WORKERS_ENV)
+    if raw is None or not raw.strip():
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{WORKERS_ENV} must be an integer, got {raw!r}") from None
+    if workers < 0:
+        raise ConfigError(f"{WORKERS_ENV} must be >= 0, got {workers}")
+    return workers
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set (or, with ``None``, clear) the environment worker default.
+
+    Exposed for the CLI's ``--engine-workers`` flag; stored in the
+    environment so forked suite workers inherit it too.
+    """
+    if workers is None:
+        os.environ.pop(WORKERS_ENV, None)
+        return
+    if workers < 0:
+        raise ConfigError(f"engine workers must be >= 0, got {workers}")
+    os.environ[WORKERS_ENV] = str(workers)
+
+
+def _shard_main(conn, fn: Callable[[Any], Any],
+                tasks: Sequence[Any]) -> None:  # pragma: no cover - child
+    """Fork-worker body: run one shard's tasks, report results + tally.
+
+    Counts every engine the tasks construct via the observer hook (the
+    child inherited the parent's observer list, but the parent's
+    callbacks only mutate parent-side state that dies with this copy;
+    our own observer is registered fresh here).  Exits via ``os._exit``
+    so the child never runs the parent's atexit machinery.
+    """
+    code = 0
+    engines: List[Any] = []
+    register_engine_observer(engines.append)
+    try:
+        results = [fn(task) for task in tasks]
+        conn.send(("ok", results,
+                   sum(e.events_processed for e in engines), len(engines)))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        code = 1
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    os._exit(code)
+
+
+class MultiEngineExecutor:
+    """Run independent engine-building tasks across fork workers.
+
+    ``executor.map(fn, tasks)`` returns ``[fn(t) for t in tasks]`` — same
+    values, same order — computed on up to ``workers`` forked children.
+    ``fn`` must build everything it needs (rigs, engines) inside the
+    call and return something picklable; tasks must not share live
+    simulation state, which every sweep in :mod:`repro.bench` already
+    guarantees by constructing a fresh rig per point.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is None:
+            workers = default_workers()
+        if workers < 0:
+            raise ConfigError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any],
+            cost: Optional[Callable[[Any], float]] = None) -> List[Any]:
+        """Apply ``fn`` to every task; results come back in task order.
+
+        ``cost`` is the LPT weight hint (uniform when omitted).  With an
+        effective worker count of one — or when ``fork`` is unavailable
+        on this platform — the tasks run inline in the calling process.
+        """
+        tasks = list(tasks)
+        workers = min(self.workers, len(tasks))
+        if (workers <= 1
+                or "fork" not in multiprocessing.get_all_start_methods()):
+            return [fn(task) for task in tasks]
+
+        from repro.bench.jobs import lpt_shards
+
+        costs = ([1.0] * len(tasks) if cost is None
+                 else [float(cost(task)) for task in tasks])
+        shards = lpt_shards(costs, workers)
+
+        ctx = multiprocessing.get_context("fork")
+        children = []
+        try:
+            for shard in shards:
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_shard_main,
+                    args=(child_conn, fn, [tasks[i] for i in shard]),
+                    name=f"tca-engine-worker-{len(children)}")
+                proc.start()
+                child_conn.close()  # parent keeps only the read end
+                children.append((shard, parent_conn, proc))
+
+            out: List[Any] = [None] * len(tasks)
+            events = engines = 0
+            failures: List[str] = []
+            for shard, parent_conn, proc in children:
+                try:
+                    message = parent_conn.recv()
+                except EOFError:
+                    message = ("error", "worker died before reporting")
+                if message[0] == "ok":
+                    _, results, shard_events, shard_engines = message
+                    for index, result in zip(shard, results):
+                        out[index] = result
+                    events += shard_events
+                    engines += shard_engines
+                else:
+                    failures.append(message[1])
+            if failures:
+                raise SimulationError(
+                    "engine worker failed: " + "; ".join(failures))
+            _credit_stats(events, engines)
+            return out
+        finally:
+            for _, parent_conn, proc in children:
+                parent_conn.close()
+                proc.join(timeout=30.0)
+                if proc.is_alive():  # pragma: no cover - hung child
+                    proc.kill()
+                    proc.join()

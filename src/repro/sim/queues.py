@@ -50,17 +50,18 @@ class Store:
 
     def put(self, item: Any) -> Signal:
         """Offer an item; the returned signal fires once it is enqueued."""
-        accepted = Signal(self.engine, self._put_name)
         if self._getters:
-            # Hand the item straight to the oldest waiting getter.
-            getter = self._getters.popleft()
-            getter.fire(item)
-            accepted.fire()
-        elif self.capacity is None or len(self._items) < self.capacity:
+            # Hand the item straight to the oldest waiting getter.  The
+            # accepted signal is born fired — nobody can have waited on a
+            # signal that does not exist yet, so this is exactly
+            # ``Signal(...)`` + ``fire()`` minus two calls per put.
+            self._getters.popleft().fire(item)
+            return Signal.fired_signal(self.engine, self._put_name)
+        if self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
-            accepted.fire()
-        else:
-            self._putters.append((accepted, item))
+            return Signal.fired_signal(self.engine, self._put_name)
+        accepted = Signal(self.engine, self._put_name)
+        self._putters.append((accepted, item))
         return accepted
 
     def try_put(self, item: Any) -> bool:
@@ -75,13 +76,13 @@ class Store:
 
     def get(self) -> Signal:
         """Request the next item; the returned signal fires with it."""
-        got = Signal(self.engine, self._get_name)
         if self._items:
             item = self._items.popleft()
-            got.fire(item)
-            self._admit_waiting_putter()
-        else:
-            self._getters.append(got)
+            if self._putters:
+                self._admit_waiting_putter()
+            return Signal.fired_signal(self.engine, self._get_name, item)
+        got = Signal(self.engine, self._get_name)
+        self._getters.append(got)
         return got
 
     def try_get(self) -> tuple:
@@ -132,11 +133,10 @@ class Latch:
 
     def wait_zero(self) -> Signal:
         """Signal that fires when the count is (or becomes) zero."""
-        done = self.engine.signal(self._zero_name)
         if self.count == 0:
-            done.fire()
-        else:
-            self._waiters.append(done)
+            return Signal.fired_signal(self.engine, self._zero_name)
+        done = self.engine.signal(self._zero_name)
+        self._waiters.append(done)
         return done
 
 
@@ -164,12 +164,11 @@ class Resource:
 
     def acquire(self) -> Signal:
         """Request a slot; the returned signal fires once granted."""
-        granted = Signal(self.engine, self._acquire_name)
         if self.in_use < self.capacity:
             self.in_use += 1
-            granted.fire()
-        else:
-            self._waiters.append(granted)
+            return Signal.fired_signal(self.engine, self._acquire_name)
+        granted = Signal(self.engine, self._acquire_name)
+        self._waiters.append(granted)
         return granted
 
     def release(self) -> None:

@@ -100,6 +100,21 @@ class TestGate:
         gate = check_against_baseline(perf_doc(name="fig9"), baseline)
         assert gate.ok  # fig7 missing from the run is fine
 
+    def test_events_floor_pass_and_fail(self):
+        doc = perf_doc(bare_eps=100_000.0)
+        ok = check_against_baseline(doc, doc, events_floor=50_000.0)
+        assert ok.ok
+        assert any(c.metric == "events_floor" for c in ok.checks)
+        bad = check_against_baseline(doc, doc, events_floor=200_000.0)
+        assert not bad.ok
+        (failure,) = bad.failures
+        assert failure.metric == "events_floor"
+        assert failure.experiment == "(overall)"
+
+    def test_events_floor_absent_by_default(self):
+        gate = check_against_baseline(perf_doc(), perf_doc())
+        assert not any(c.metric == "events_floor" for c in gate.checks)
+
     def test_gate_dict_and_render(self):
         gate = check_against_baseline(perf_doc(), perf_doc(),
                                       baseline_name="BENCH_PR6.json")

@@ -208,3 +208,56 @@ class TestReadyHeapInterleaving:
             return order
 
         assert build() == build()
+
+
+class TestCancelRetiredEvent:
+    """cancel_event on an already-retired token is a documented no-op.
+
+    The historical bug: cancelling a timer that had already fired left
+    its token in the cancellation set, and because the set was only
+    pruned entry-by-entry, a long-lived engine accumulated stale tokens
+    -- and a hypothetical token reuse would have suppressed a live
+    event.  Now sequence numbers are never reused and the set is cleared
+    wholesale when the queues drain, so a stale cancel can never touch
+    future traffic.
+    """
+
+    def test_cancel_after_fire_is_noop(self, engine):
+        fired = []
+        token = engine.after(10, fired.append, "a")
+        engine.run()
+        assert fired == ["a"]
+        engine.cancel_event(token)  # retired: must not raise
+        engine.after(5, fired.append, "b")
+        engine.run()
+        assert fired == ["a", "b"]
+
+    def test_stale_token_never_suppresses_future_events(self, engine):
+        fired = []
+        token = engine.after(1, fired.append, "first")
+        engine.run()
+        engine.cancel_event(token)
+        # Schedule plenty of follow-on traffic; none may be swallowed.
+        for i in range(5):
+            engine.after(i + 1, fired.append, i)
+        engine.run()
+        assert fired == ["first", 0, 1, 2, 3, 4]
+
+    def test_double_cancel_is_noop(self, engine):
+        fired = []
+        token = engine.after(10, fired.append, "doomed")
+        engine.cancel_event(token)
+        engine.cancel_event(token)  # second cancel: no-op
+        engine.after(20, fired.append, "kept")
+        engine.run()
+        assert fired == ["kept"]
+        assert engine.events_processed == 1
+
+    def test_cancellation_set_drains_with_queues(self, engine):
+        tokens = [engine.after(10 + i, lambda: None) for i in range(4)]
+        for token in tokens:
+            engine.cancel_event(token)
+        engine.run()
+        # Every remembered token was stale by the time the queues
+        # drained, so the set must be empty again.
+        assert not engine._cancelled

@@ -1,0 +1,129 @@
+"""Tests for the multi-engine fork executor and its LPT sharding."""
+
+import pytest
+
+from repro.bench.jobs import lpt_shards
+from repro.errors import ConfigError, SimulationError
+from repro.sim import executor as executor_mod
+from repro.sim.core import Engine
+from repro.sim.executor import (MultiEngineExecutor, consume_stats,
+                                default_workers, set_default_workers)
+
+
+def _simulate(events):
+    """Picklable task: run a fresh engine for ``events`` ticks."""
+    engine = Engine()
+    fired = []
+    for i in range(events):
+        engine.at(i, fired.append, i)
+    engine.run()
+    return (len(fired), engine.now_ps)
+
+
+class TestLptShards:
+    def test_deterministic_and_complete(self):
+        costs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]
+        a = lpt_shards(costs, 3)
+        b = lpt_shards(costs, 3)
+        assert a == b
+        assert sorted(i for bucket in a for i in bucket) == list(range(7))
+        assert all(bucket for bucket in a)
+
+    def test_heaviest_items_spread_first(self):
+        buckets = lpt_shards([10.0, 10.0, 1.0, 1.0], 2)
+        loads = [sum((10.0, 10.0, 1.0, 1.0)[i] for i in b) for b in buckets]
+        assert loads == [11.0, 11.0]
+
+    def test_clamps_to_item_count(self):
+        assert lpt_shards([1.0], 8) == [[0]]
+        assert lpt_shards([], 4) == [[]]
+
+    def test_tiebreak_controls_equal_cost_order(self):
+        names = ["zeta", "alpha", "mid"]
+        buckets = lpt_shards([1.0, 1.0, 1.0], 1, tiebreak=names)
+        assert [names[i] for i in buckets[0]] == ["alpha", "mid", "zeta"]
+
+
+class TestMultiEngineExecutor:
+    def test_inline_matches_forked(self):
+        tasks = list(range(0, 40, 5))
+        inline = MultiEngineExecutor(1).map(_simulate, tasks)
+        forked = MultiEngineExecutor(3).map(_simulate, tasks,
+                                            cost=lambda t: float(t))
+        assert forked == inline
+        assert inline == [_simulate(t) for t in tasks]
+
+    def test_fork_workers_report_event_tally(self):
+        consume_stats()  # drop anything a prior test accrued
+        tasks = [10, 20, 30]
+        MultiEngineExecutor(2).map(_simulate, tasks)
+        events, engines = consume_stats()
+        assert engines == len(tasks)
+        assert events == sum(tasks)
+        # Destructive read: the tally is now empty.
+        assert consume_stats() == (0, 0)
+
+    def test_inline_path_does_not_touch_tally(self):
+        consume_stats()
+        MultiEngineExecutor(1).map(_simulate, [5, 5])
+        assert consume_stats() == (0, 0)
+
+    def test_worker_failure_propagates(self):
+        def boom(task):
+            if task == 2:
+                raise ValueError("task 2 exploded")
+            return task
+
+        with pytest.raises(SimulationError, match="task 2 exploded"):
+            MultiEngineExecutor(2).map(boom, [1, 2, 3, 4])
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            MultiEngineExecutor(-1)
+
+    def test_empty_task_list(self):
+        assert MultiEngineExecutor(4).map(_simulate, []) == []
+
+
+class TestWorkerDefaults:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv(executor_mod.WORKERS_ENV, raising=False)
+        assert default_workers() == 1
+        monkeypatch.setenv(executor_mod.WORKERS_ENV, "4")
+        assert default_workers() == 4
+        assert MultiEngineExecutor().workers == 4
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(executor_mod.WORKERS_ENV, "many")
+        with pytest.raises(ConfigError):
+            default_workers()
+        monkeypatch.setenv(executor_mod.WORKERS_ENV, "-2")
+        with pytest.raises(ConfigError):
+            default_workers()
+
+    def test_set_default_workers_roundtrip(self, monkeypatch):
+        monkeypatch.delenv(executor_mod.WORKERS_ENV, raising=False)
+        set_default_workers(3)
+        assert default_workers() == 3
+        set_default_workers(None)
+        assert default_workers() == 1
+        with pytest.raises(ConfigError):
+            set_default_workers(-1)
+
+
+class TestExperimentsUnderWorkers:
+    def test_fig7_two_workers_byte_identical(self):
+        from repro.bench import experiments
+
+        sizes = (64, 256)
+        inline = experiments.fig7(sizes=sizes, count=3)
+        forked = experiments.fig7(sizes=sizes, count=3, workers=2)
+        assert forked.to_dict() == inline.to_dict()
+
+    def test_fig9_two_workers_byte_identical(self):
+        from repro.bench import experiments
+
+        counts = (1, 2, 4)
+        inline = experiments.fig9(counts=counts, size=256)
+        forked = experiments.fig9(counts=counts, size=256, workers=2)
+        assert forked.to_dict() == inline.to_dict()
