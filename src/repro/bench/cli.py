@@ -448,9 +448,9 @@ def main(argv=None) -> int:
                             help="gate this run against --baseline; "
                                  "exit nonzero on regression")
     perf_group.add_argument("--baseline", metavar="PATH",
-                            default="BENCH_PR6.json",
+                            default="BENCH_PR9.json",
                             help="committed tca-bench-perf/1 baseline "
-                                 "for --check (default BENCH_PR6.json)")
+                                 "for --check (default BENCH_PR9.json)")
     perf_group.add_argument("--threshold", type=float, default=None,
                             metavar="FRAC",
                             help="allowed bare events/s regression "
@@ -472,6 +472,44 @@ def main(argv=None) -> int:
                             default=None,
                             help="comma-separated subset of the perf "
                                  "experiments (tiny CI budgets)")
+    serve_group = parser.add_argument_group(
+        "serve options", "only meaningful with the 'serve' and "
+        "'serve-bench' subcommands (see docs/serving.md)")
+    serve_group.add_argument("--host", default="127.0.0.1",
+                             help="serve: bind address "
+                                  "(default 127.0.0.1)")
+    serve_group.add_argument("--port", type=int, default=8023,
+                             help="serve: TCP port; 0 picks an "
+                                  "ephemeral port (default 8023)")
+    serve_group.add_argument("--serve-workers", type=int, default=1,
+                             metavar="N",
+                             help="cold jobs per fork-worker generation;"
+                                  " 1 runs them inline on the executor "
+                                  "thread (default 1)")
+    serve_group.add_argument("--entry", default="fig9",
+                             help="serve-bench: registry entry to "
+                                  "compute cold (default fig9)")
+    serve_group.add_argument("--serve-bench-mode", default="smoke",
+                             choices=("full", "smoke", "tiny"),
+                             metavar="MODE",
+                             help="serve-bench: experiment mode "
+                                  "(default smoke)")
+    serve_group.add_argument("--requests", type=int, default=2000,
+                             metavar="N",
+                             help="serve-bench: warm requests per phase "
+                                  "(default 2000)")
+    serve_group.add_argument("--concurrency", type=int, default=32,
+                             metavar="C",
+                             help="serve-bench: concurrent keep-alive "
+                                  "connections (default 32)")
+    serve_group.add_argument("--coalesce", type=int, default=16,
+                             metavar="K",
+                             help="serve-bench: concurrent identical "
+                                  "cold submits (default 16)")
+    serve_group.add_argument("--assert-speedup", type=float,
+                             default=None, metavar="X",
+                             help="serve-bench: exit nonzero unless "
+                                  "cold-compute / warm-p50 >= X")
     report_group = parser.add_argument_group(
         "report options", "only meaningful with the 'report' subcommand")
     report_group.add_argument("--html", metavar="PATH", default=None,
@@ -505,11 +543,23 @@ def main(argv=None) -> int:
         for name in EXPERIMENTS:
             print(f"  {name}")
         print("  suite")
+        print("  serve")
+        print("  serve-bench")
         print("  report")
         return 0
 
     if args.experiment == "suite":
         return _suite_main(args)
+
+    if args.experiment == "serve":
+        from repro.serve.server import serve_main
+
+        return serve_main(args)
+
+    if args.experiment == "serve-bench":
+        from repro.serve.loadtest import loadtest_main
+
+        return loadtest_main(args)
 
     if args.experiment == "report":
         return _report_main(args)

@@ -235,11 +235,17 @@ class Journal:
     Appends are flushed and fsync'd one line at a time; a crash can
     therefore tear at most the final line, and :meth:`read` skips any
     line that does not parse.
+
+    :meth:`record` is thread-safe: the serving layer appends submit
+    records from its event-loop thread while the executor thread
+    journals job transitions, and interleaving two half-written lines
+    would tear *both* records, not just the crash-prone final one.
     """
 
     def __init__(self, path: Path, fh=None):
         self.path = Path(path)
         self._fh = fh or open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
 
     # -- writing ---------------------------------------------------------
 
@@ -273,14 +279,17 @@ class Journal:
         """Append one fsync'd record; torn tails are the reader's job."""
         doc = {"schema": JOURNAL_SCHEMA, "t": t,
                "ts": round(time.time(), 3), **fields}
-        self._fh.write(json.dumps(doc, sort_keys=True,
-                                  separators=(",", ":")) + "\n")
-        fsync_file(self._fh)
+        line = json.dumps(doc, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        with self._lock:
+            self._fh.write(line)
+            fsync_file(self._fh)
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     # -- reading ---------------------------------------------------------
 
@@ -940,6 +949,18 @@ class JobService:
     overrun, corrupt cache entry — is absorbed by the layers this
     module provides; a submitted job can end only DONE or FAILED, never
     take the service down.
+
+    **Thread safety.**  The bookkeeping methods — :meth:`submit`,
+    :meth:`status`, :meth:`result`, :meth:`result_text`, :meth:`jobs`,
+    :meth:`counts` — are safe to call from any thread: an internal lock
+    serializes mutations of the job table, so the HTTP serving layer
+    (:mod:`repro.serve`) can submit from its event-loop thread while an
+    executor thread drives :meth:`run_pending` (or runs individual jobs
+    via :func:`run_job_inline`).  A job's *state* may still advance
+    between a ``status`` call and the next — snapshots are consistent,
+    not frozen.  :meth:`run_pending` itself holds the lock only while
+    selecting pending jobs and writing back results, never while an
+    experiment runs.
     """
 
     def __init__(self, cache=None, workers: int = 1, seed: int = 0,
@@ -957,12 +978,17 @@ class JobService:
         self._sources_fp = sources_fingerprint()
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
+        self._lock = threading.RLock()
 
     # -- submission ------------------------------------------------------
 
     def submit(self, entry: str, mode: str = "full",
                seed: Optional[int] = None) -> str:
-        """Queue one experiment; returns its job id (the content key)."""
+        """Queue one experiment; returns its job id (the content key).
+
+        Safe to call from any thread; identical submissions from racing
+        threads collapse onto one job.
+        """
         from repro.bench.cache import cache_key
         from repro.bench.experiments import REGISTRY
 
@@ -972,19 +998,20 @@ class JobService:
         seed = self.seed if seed is None else seed
         key = cache_key(entry, spec.params_for(mode), self._calib_fp,
                         self._sources_fp, seed)
-        if key in self._jobs:
-            return key  # deduplicated: same submission, same job
-        job = Job(name=entry, eid=spec.eid, key=key, mode=mode, seed=seed,
-                  cost_s=spec.cost_s,
-                  deadline_s=default_deadline_s(spec.cost_s),
-                  max_attempts=self.max_attempts)
-        if self.cache is not None:
-            hit = self.cache.get(key)
-            if hit is not None:
-                job.payload_json = hit
-                job.transition(DONE)
-        self._jobs[key] = job
-        self._order.append(key)
+        with self._lock:
+            if key in self._jobs:
+                return key  # deduplicated: same submission, same job
+            job = Job(name=entry, eid=spec.eid, key=key, mode=mode,
+                      seed=seed, cost_s=spec.cost_s,
+                      deadline_s=default_deadline_s(spec.cost_s),
+                      max_attempts=self.max_attempts)
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    job.payload_json = hit
+                    job.transition(DONE)
+            self._jobs[key] = job
+            self._order.append(key)
         if self.journal is not None:
             self.journal.record("submit", name=entry, key=key, mode=mode,
                                 seed=seed, state=job.state)
@@ -993,10 +1020,19 @@ class JobService:
     # -- lookup ----------------------------------------------------------
 
     def _job(self, job_id: str) -> Job:
-        job = self._jobs.get(job_id)
+        with self._lock:
+            job = self._jobs.get(job_id)
         if job is None:
             raise ConfigError(f"unknown job id {job_id!r}")
         return job
+
+    def get_job(self, job_id: str) -> Job:
+        """The live :class:`Job` for one id (the serving layer's view)."""
+        return self._job(job_id)
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._jobs
 
     def status(self, job_id: str) -> Dict[str, Any]:
         """The job's current state-machine snapshot."""
@@ -1004,24 +1040,51 @@ class JobService:
 
     def result(self, job_id: str) -> Any:
         """The decoded payload of a DONE job; errors otherwise."""
+        return json.loads(self.result_text(job_id))
+
+    def result_text(self, job_id: str) -> str:
+        """The *canonical payload text* of a DONE job, verbatim.
+
+        This is the byte-identity contract the serving layer depends
+        on: the text returned here is exactly what the suite/cache
+        stored, so two clients asking for the same fingerprint receive
+        byte-identical documents.
+        """
         job = self._job(job_id)
         if job.state != DONE:
             raise ConfigError(
                 f"job {job_id[:12]} is {job.state}, not done"
                 + (f" ({job.error})" if job.error else ""))
-        return json.loads(job.payload_json)
+        return job.payload_json
 
     def jobs(self) -> List[Dict[str, Any]]:
         """Every known job, in submission order."""
-        return [self._jobs[k].to_dict() for k in self._order]
+        with self._lock:
+            return [self._jobs[k].to_dict() for k in self._order]
+
+    def counts(self) -> Dict[str, int]:
+        """How many known jobs sit in each state right now."""
+        counts: Dict[str, int] = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for key in self._order:
+                counts[self._jobs[key].state] += 1
+        return counts
 
     # -- execution -------------------------------------------------------
+
+    def store_result(self, job: Job) -> None:
+        """Write one DONE job's payload back to the result cache."""
+        if self.cache is not None and job.state == DONE:
+            with self._lock:
+                self.cache.put(job.key, job.name, job.payload_json,
+                               meta={"mode": job.mode, "seed": job.seed})
 
     def run_pending(self, on_event: Optional[Callable] = None
                     ) -> Dict[str, int]:
         """Execute every queued job; returns state counts when done."""
-        pending = [self._jobs[k] for k in self._order
-                   if self._jobs[k].state == PENDING]
+        with self._lock:
+            pending = [self._jobs[k] for k in self._order
+                       if self._jobs[k].state == PENDING]
         if pending:
             runner = _registry_runner
             if self.workers > 1:
@@ -1034,17 +1097,9 @@ class JobService:
                 for job in pending:
                     run_job_inline(job, runner, journal=self.journal,
                                    on_event=on_event)
-            if self.cache is not None:
-                for job in pending:
-                    if job.state == DONE:
-                        self.cache.put(job.key, job.name,
-                                       job.payload_json,
-                                       meta={"mode": job.mode,
-                                             "seed": job.seed})
-        counts: Dict[str, int] = {state: 0 for state in JOB_STATES}
-        for key in self._order:
-            counts[self._jobs[key].state] += 1
-        return counts
+            for job in pending:
+                self.store_result(job)
+        return self.counts()
 
 
 def _registry_runner(name: str, mode: str, seed: int) -> Tuple[str, float]:

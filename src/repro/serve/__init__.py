@@ -1,0 +1,21 @@
+"""The serving layer: an asyncio HTTP front-end over the job service.
+
+The paper's whole argument is about shaving protocol layers off the
+request path; this package applies the same discipline to serving the
+reproduction's own results.  A request for a result whose content key
+is already in the hardened cache is answered from memory in
+microseconds — no experiment, no worker, no fork.  A cold request is
+queued, deduplicated by the same content fingerprint the cache uses
+(so a thousand identical requests cost one computation), and executed
+by the existing supervised machinery from :mod:`repro.bench.jobs`.
+
+Everything here is stdlib-only: ``asyncio`` for the event loop and
+socket plumbing, hand-rolled HTTP/1.1 framing, and the repo's own
+:mod:`repro.obs` metrics for telemetry.  See ``docs/serving.md`` for
+the API reference and deployment story.
+"""
+
+from repro.serve.bridge import ServeBridge
+from repro.serve.server import JobServer, serve_main
+
+__all__ = ["ServeBridge", "JobServer", "serve_main"]

@@ -1,0 +1,299 @@
+"""The serve load-test harness: ``tca-bench serve-bench``.
+
+Proves the two latency claims the serving layer exists for, the same
+way the paper proves its own (§IV: measure the request path, not the
+components):
+
+1. **Cold coalescing** — K concurrent identical cold submits trigger
+   exactly *one* underlying computation (the content fingerprint is
+   the dedup key), and all K clients receive byte-identical payloads.
+
+2. **Warm latency** — once a result is cached, thousands of concurrent
+   requests are answered from memory; client-observed p50 is orders of
+   magnitude below the cold compute wall time.
+
+The harness is self-contained: it stands up a real :class:`JobServer`
+on an ephemeral port inside one asyncio loop, then runs an async HTTP
+client fleet against it over keep-alive connections, so every number
+includes genuine socket + HTTP framing cost.  Output is a
+``tca-bench-serve-bench/1`` JSON document; ``--assert-speedup N``
+turns the warm/cold ratio into an exit code for CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import statistics
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.server import JobServer, build_server
+
+SCHEMA = "tca-bench-serve-bench/1"
+DEFAULT_ENTRY = "fig9"
+DEFAULT_MODE = "smoke"
+DEFAULT_REQUESTS = 2000
+DEFAULT_CONCURRENCY = 32
+DEFAULT_COALESCE = 16
+
+
+class _Client:
+    """One keep-alive HTTP/1.1 connection to the server under test."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def request(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None
+                      ) -> Tuple[int, bytes]:
+        """One request/response on the persistent connection."""
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode()
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Content-Type: application/json\r\n\r\n")
+        self.writer.write(head.encode() + payload)
+        await self.writer.drain()
+        status_line = await self.reader.readline()
+        status = int(status_line.split(b" ", 2)[1])
+        length = 0
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        data = await self.reader.readexactly(length) if length else b""
+        return status, data
+
+
+async def _coalesce_phase(server: JobServer, entry: str, mode: str,
+                          k: int, timeout_s: float
+                          ) -> Dict[str, Any]:
+    """K concurrent identical cold submits -> 1 computation."""
+    async def one() -> Tuple[int, bytes, bytes]:
+        client = _Client(server.host, server.port)
+        await client.connect()
+        try:
+            status, body = await client.request(
+                "POST", "/v1/jobs",
+                {"entry": entry, "mode": mode, "wait": True,
+                 "timeout_s": timeout_s})
+            doc = json.loads(body)
+            key = doc["fingerprint"]
+            _, result = await client.request(
+                "GET", f"/v1/jobs/{key}/result")
+            return status, result, key.encode()
+        finally:
+            await client.close()
+
+    t0 = time.perf_counter()
+    outcomes = await asyncio.gather(*[one() for _ in range(k)])
+    wall_s = time.perf_counter() - t0
+    payloads = {body for _, body, _ in outcomes}
+    keys = {key for _, _, key in outcomes}
+    computed = server.runlog.metrics.counter("serve.jobs.computed").value
+    return {
+        "submits": k,
+        "statuses": sorted({s for s, _, _ in outcomes}),
+        "computations": computed,
+        "distinct_payloads": len(payloads),
+        "distinct_fingerprints": len(keys),
+        "identical": len(payloads) == 1 and len(keys) == 1,
+        "wall_s": round(wall_s, 3),
+        "payload_bytes": len(next(iter(payloads))),
+        "fingerprint": next(iter(keys)).decode(),
+    }
+
+
+async def _warm_phase(server: JobServer, entry: str, mode: str,
+                      requests: int, concurrency: int,
+                      kind: str = "submit", key: str = ""
+                      ) -> Dict[str, Any]:
+    """Hammer the now-warm fingerprint from a keep-alive fleet.
+
+    ``kind="submit"`` measures the full submit path (dedup against the
+    in-memory job table); ``kind="result"`` measures result-by-
+    fingerprint lookup, the payload served byte-verbatim.
+    """
+    latencies_us: List[float] = []
+    per_worker = max(1, requests // concurrency)
+
+    async def worker(i: int) -> None:
+        client = _Client(server.host, server.port)
+        await client.connect()
+        try:
+            for _ in range(per_worker):
+                t0 = time.perf_counter_ns()
+                if kind == "submit":
+                    status, body = await client.request(
+                        "POST", "/v1/jobs",
+                        {"entry": entry, "mode": mode, "wait": True})
+                else:
+                    status, body = await client.request(
+                        "GET", f"/v1/results/{key}")
+                latencies_us.append(
+                    (time.perf_counter_ns() - t0) / 1e3)
+                assert status == 200, (status, body[:200])
+        finally:
+            await client.close()
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*[worker(i) for i in range(concurrency)])
+    wall_s = time.perf_counter() - t0
+    latencies_us.sort()
+
+    def pct(p: float) -> float:
+        idx = min(len(latencies_us) - 1,
+                  int(p / 100.0 * len(latencies_us)))
+        return latencies_us[idx]
+
+    return {
+        "kind": kind,
+        "requests": len(latencies_us),
+        "concurrency": concurrency,
+        "wall_s": round(wall_s, 3),
+        "rps": round(len(latencies_us) / wall_s, 1),
+        "p50_us": round(pct(50), 1),
+        "p90_us": round(pct(90), 1),
+        "p99_us": round(pct(99), 1),
+        "mean_us": round(statistics.fmean(latencies_us), 1),
+    }
+
+
+async def _run_bench(entry: str, mode: str, requests: int,
+                     concurrency: int, coalesce: int,
+                     serve_workers: int, seed: int,
+                     cache_dir: Optional[str],
+                     timeout_s: float = 300.0,
+                     log=lambda msg: print(msg, file=sys.stderr)
+                     ) -> Dict[str, Any]:
+    server = build_server(host="127.0.0.1", port=0,
+                          workers=serve_workers, seed=seed,
+                          cache_dir=cache_dir, journal_dir=None)
+    await server.start()
+    try:
+        log(f"serve-bench: cold phase — {coalesce} concurrent "
+            f"identical submits of {entry}/{mode}")
+        coalesce_doc = await _coalesce_phase(server, entry, mode,
+                                             coalesce, timeout_s)
+        compute_ms = server.runlog.metrics.histogram(
+            "serve.compute_ms").summary()
+        cold_ms = compute_ms["mean"] if compute_ms["count"] else None
+        log(f"serve-bench: cold compute {cold_ms:.1f} ms, "
+            f"{coalesce_doc['computations']} computation(s) for "
+            f"{coalesce} submits")
+        log(f"serve-bench: warm phase — {requests} submits + "
+            f"{requests} result lookups over {concurrency} "
+            f"keep-alive connections")
+        warm_doc = await _warm_phase(server, entry, mode, requests,
+                                     concurrency, kind="submit")
+        warm_result = await _warm_phase(
+            server, entry, mode, requests, concurrency,
+            kind="result", key=coalesce_doc["fingerprint"])
+        log(f"serve-bench: warm submit p50 {warm_doc['p50_us']:.0f} us"
+            f" / result p50 {warm_result['p50_us']:.0f} us, "
+            f"{warm_doc['rps']:.0f} req/s")
+        speedup = None
+        if cold_ms and warm_doc["p50_us"]:
+            speedup = round(cold_ms * 1e3 / warm_doc["p50_us"], 1)
+        server.bridge.draining = True
+        await server.bridge.drain()
+        return {
+            "schema": SCHEMA,
+            "entry": entry,
+            "mode": mode,
+            "serve_workers": serve_workers,
+            "cold": {"compute_ms": (round(cold_ms, 1)
+                                    if cold_ms else None),
+                     "computations": coalesce_doc["computations"]},
+            "coalesce": coalesce_doc,
+            "warm": warm_doc,
+            "warm_result": warm_result,
+            "speedup_cold_over_warm_p50": speedup,
+            "metrics": server.runlog.metrics.to_dict(
+                server.runlog.now_ps()),
+        }
+    finally:
+        if server._server is not None:
+            server._server.close()
+            await server._server.wait_closed()
+        server.bridge.stop()
+
+
+def run_loadtest(entry: str = DEFAULT_ENTRY, mode: str = DEFAULT_MODE,
+                 requests: int = DEFAULT_REQUESTS,
+                 concurrency: int = DEFAULT_CONCURRENCY,
+                 coalesce: int = DEFAULT_COALESCE,
+                 serve_workers: int = 1, seed: int = 0,
+                 cache_dir: Optional[str] = None,
+                 log=lambda msg: print(msg, file=sys.stderr)
+                 ) -> Dict[str, Any]:
+    """Run the full bench; a fresh temp cache keeps the cold phase cold."""
+    if cache_dir is None:
+        with tempfile.TemporaryDirectory(prefix="tca-serve-bench-"
+                                         ) as tmp:
+            return asyncio.run(_run_bench(
+                entry, mode, requests, concurrency, coalesce,
+                serve_workers, seed, tmp, log=log))
+    return asyncio.run(_run_bench(
+        entry, mode, requests, concurrency, coalesce, serve_workers,
+        seed, cache_dir, log=log))
+
+
+def loadtest_main(args) -> int:
+    """``tca-bench serve-bench``: run the harness, print the document."""
+    doc = run_loadtest(entry=args.entry, mode=args.serve_bench_mode,
+                       requests=args.requests,
+                       concurrency=args.concurrency,
+                       coalesce=args.coalesce,
+                       serve_workers=args.serve_workers,
+                       seed=args.seed, cache_dir=args.cache_dir)
+    if args.bench_json:
+        from repro.bench.ioutil import atomic_write_json
+
+        atomic_write_json(args.bench_json, doc)
+        print(f"serve-bench -> {args.bench_json}", file=sys.stderr)
+    json.dump(doc, sys.stdout, indent=2)
+    print()
+    rc = 0
+    if not doc["coalesce"]["identical"]:
+        print("FAIL: concurrent submits returned divergent payloads",
+              file=sys.stderr)
+        rc = 1
+    if doc["coalesce"]["computations"] != 1:
+        print(f"FAIL: {doc['coalesce']['computations']} computations "
+              f"for {doc['coalesce']['submits']} identical submits",
+              file=sys.stderr)
+        rc = 1
+    if args.assert_speedup is not None:
+        speedup = doc["speedup_cold_over_warm_p50"] or 0
+        if speedup < args.assert_speedup:
+            print(f"FAIL: warm speedup {speedup}x < required "
+                  f"{args.assert_speedup}x", file=sys.stderr)
+            rc = 1
+        else:
+            print(f"OK: warm speedup {speedup}x >= "
+                  f"{args.assert_speedup}x", file=sys.stderr)
+    return rc

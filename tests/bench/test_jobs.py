@@ -346,3 +346,65 @@ def test_service_runs_pending_and_stores(tmp_path):
 def test_service_rejects_unknown_entry():
     with pytest.raises(ConfigError):
         JobService().submit("no-such-experiment")
+
+
+def test_service_submit_is_thread_safe():
+    """Racing identical submits from many threads yield one job.
+
+    The serving layer submits from its event-loop thread while an
+    executor thread mutates job state; the service's lock must make
+    that safe (the PR-10 bugfix rider).
+    """
+    import threading
+
+    service = JobService()
+    keys = []
+    barrier = threading.Barrier(8)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(25):
+            keys.append(service.submit("theory", mode="tiny"))
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(set(keys)) == 1
+    assert len(service.jobs()) == 1
+    assert service.counts()[PENDING] == 1
+
+
+def test_service_result_text_is_verbatim_payload(tmp_path):
+    cache = ResultCache(tmp_path)
+    service = JobService(cache=cache)
+    key = service.submit("theory", mode="tiny")
+    service.run_pending()
+    assert service.result_text(key) == service._jobs[key].payload_json
+    assert service.result(key) == json.loads(service.result_text(key))
+    assert key in service and "f" * 64 not in service
+
+
+def test_journal_record_is_thread_safe(tmp_path):
+    """Concurrent appenders never interleave bytes within a line."""
+    import threading
+
+    journal = Journal(tmp_path / "j.jsonl")
+    barrier = threading.Barrier(6)
+
+    def append(tag):
+        barrier.wait()
+        for i in range(50):
+            journal.record("job", name=f"{tag}-{i}", state="done")
+
+    threads = [threading.Thread(target=append, args=(t,))
+               for t in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    journal.close()
+    records = Journal.read(tmp_path / "j.jsonl")
+    assert len(records) == 300
+    assert {r["t"] for r in records} == {"job"}

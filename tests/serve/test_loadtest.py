@@ -1,0 +1,28 @@
+"""Smoke the serve-bench harness itself at a tiny budget.
+
+The CI-scale run (thousands of requests, the >=100x speedup gate)
+lives in the workflow; this test proves the harness machinery —
+both phases, the output schema, the coalescing verdict — on a
+seconds-long budget so tier-1 stays fast.
+"""
+
+from repro.serve.loadtest import SCHEMA, run_loadtest
+
+
+def test_loadtest_document_and_coalescing(tmp_path):
+    doc = run_loadtest(entry="contention", mode="tiny", requests=48,
+                       concurrency=6, coalesce=4,
+                       cache_dir=str(tmp_path), log=lambda msg: None)
+    assert doc["schema"] == SCHEMA
+    assert doc["cold"]["computations"] == 1
+    assert doc["coalesce"]["submits"] == 4
+    assert doc["coalesce"]["identical"] is True
+    assert doc["coalesce"]["statuses"] == [200]
+    assert doc["warm"]["requests"] == 48
+    assert doc["warm"]["p50_us"] > 0
+    assert doc["warm_result"]["kind"] == "result"
+    # Warm requests never recompute: still exactly one computation.
+    assert doc["metrics"]["serve.jobs.computed"]["value"] == 1
+    # The ratio is environment-dependent; the harness must at least
+    # measure a warm path faster than the cold compute.
+    assert doc["speedup_cold_over_warm_p50"] > 1

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Standalone wrapper for the serve load test.
+
+Equivalent to ``tca-bench serve-bench``; kept as a tool so the harness
+can be pointed at the repo without installing the console script::
+
+    python tools/load_test.py --requests 5000 --concurrency 64 \
+        --assert-speedup 100
+
+See docs/serving.md for what the two phases prove and how to read the
+output document (``tca-bench-serve-bench/1``).
+"""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def main(argv=None) -> int:
+    from repro.bench.cli import main as cli_main
+
+    return cli_main(["serve-bench"] + list(argv or sys.argv[1:]))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
